@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Inspect what the compiler decided: CPs, events, and generated code.
+
+Compiles a small pipeline code (a first-order recurrence across a
+distributed dimension) and prints:
+
+* the compilation listing — computation partitionings, communication
+  events with their Figure 3 send/receive maps and in-place verdicts;
+* the generated SPMD node program itself (plain Python).
+
+Run:  python examples/compiler_listing.py
+"""
+
+from repro import compile_program
+
+SOURCE = """
+program pipeline
+  parameter n, nz
+  real d(n,nz)
+  processors p(nprocs)
+  template t(n,nz)
+  align d(i,k) with t(i,k)
+  distribute t(*, block) onto p
+
+  do k = 1, nz
+    do i = 1, n
+      d(i,k) = i + 2 * k
+    end do
+  end do
+  do k = 2, nz
+    do i = 1, n
+      d(i,k) = d(i,k) - 0.5 * d(i,k-1)
+    end do
+  end do
+end
+"""
+
+
+def main() -> None:
+    compiled = compile_program(SOURCE)
+
+    print("=" * 72)
+    print("COMPILATION LISTING")
+    print("=" * 72)
+    print(compiled.listing())
+
+    print()
+    print("=" * 72)
+    print("GENERATED SPMD NODE PROGRAM")
+    print("=" * 72)
+    print(compiled.source)
+
+    print("=" * 72)
+    print("COMPILE-TIME PHASE BREAKDOWN (paper Table 1 instrumentation)")
+    print("=" * 72)
+    print(compiled.phases.format_table())
+
+
+if __name__ == "__main__":
+    main()

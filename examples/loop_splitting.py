@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Paper Figure 4: non-local index-set splitting.
+
+Splits a stencil's iterations into the four sections of Figure 4(a) and
+shows the two benefits of §3.4:
+
+* **buffer-access checks vanish** — in 'direct' buffer mode a reference to
+  possibly-buffered data pays an ownership check per access, unless the
+  section provably touches only one side;
+* **communication overlaps computation** — the Figure 4(b) schedule sends,
+  runs the local section, and only then receives.
+
+Run:  python examples/loop_splitting.py
+"""
+
+from repro import CompilerOptions, CostModel, compile_program, run_compiled
+from repro.core.context import collect_contexts
+from repro.core.cp import resolve_cp
+from repro.core.loopsplit import compute_split_sets
+from repro.hpf import DataMapping
+from repro.lang import parse_program
+
+STENCIL = """
+program split
+  parameter n, niter
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, n
+    b(i) = i * 1.5
+    a(i) = 0.0
+  end do
+  do iter = 1, niter
+    do i = 2, n - 1
+      a(i) = b(i-1) + b(i+1)
+    end do
+    do i = 2, n - 1
+      b(i) = a(i)
+    end do
+  end do
+end
+"""
+
+
+def main() -> None:
+    program = parse_program(STENCIL)
+    mapping = DataMapping(program)
+    contexts = collect_contexts(program, program.main)
+    # the stencil statement (after the two init statements)
+    stencil_ctx = contexts[2]
+    cp = resolve_cp(mapping, stencil_ctx)
+    split = compute_split_sets(
+        cp, stencil_ctx.references(), mapping.layouts
+    )
+
+    print("Figure 4(a) sections (symbolic, for the executing processor):")
+    for name, section in split.sections():
+        print(f"  {name:6s} = {section}")
+    print()
+    print("Concretely for processor 1 of 4 (owns 26..50 of 100):")
+    from repro.isets import enumerate_points
+
+    env = {"my_p_0": 26, "n": 100, "niter": 1, "B_t_0": 25, "nprocs": 4}
+    for name, section in split.sections():
+        pts = sorted({
+            i for (_iter, i) in enumerate_points(
+                section.partial_evaluate(env)
+            )
+        })
+        shown = f"{pts[0]}..{pts[-1]}" if len(pts) > 2 else str(pts)
+        print(f"  {name:6s} : {len(pts):3d} iterations  {shown}")
+
+    print()
+    print("Effect on generated code (4 processors, direct buffer mode):")
+    params = {"n": 64, "niter": 4}
+    for split_on in (False, True):
+        options = CompilerOptions(
+            loop_split=split_on, buffer_mode="direct"
+        )
+        compiled = compile_program(STENCIL, options)
+        outcome = run_compiled(compiled, params=params, nprocs=4)
+        print(
+            f"  loop_split={split_on!s:5s}: buffer checks = "
+            f"{outcome.stats.total_checks:4d}, predicted time = "
+            f"{outcome.predicted_time * 1e6:.0f} us (validated)"
+        )
+
+
+if __name__ == "__main__":
+    main()

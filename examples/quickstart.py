@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: compile a mini-HPF stencil and run it on 4 simulated
+processors.
+
+The whole pipeline in one page:
+
+1. write a data-parallel program with HPF directives;
+2. ``compile_program`` runs the paper's integer-set analyses and emits an
+   SPMD node program;
+3. ``run_compiled`` executes it on a simulated message-passing machine,
+   validates every element against the serial interpreter, and predicts
+   execution time with a LogGP-style cost model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_program, run_compiled
+
+SOURCE = """
+program quickstart
+  parameter n, niter
+  real u(n,n), v(n,n)
+  scalar err
+  processors p(nprocs)
+  template t(n,n)
+  align u(i,j) with t(i,j)
+  align v(i,j) with t(i,j)
+  distribute t(block, *) onto p
+
+  do i = 1, n
+    do j = 1, n
+      v(i,j) = i + j * 0.5
+      u(i,j) = 0.0
+    end do
+  end do
+  do iter = 1, niter
+    do i = 2, n-1
+      do j = 2, n-1
+        u(i,j) = 0.25 * (v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+      end do
+    end do
+    err = 0.0
+    do i = 2, n-1
+      do j = 2, n-1
+        err = max(err, abs(u(i,j) - v(i,j)))
+      end do
+    end do
+    do i = 2, n-1
+      do j = 2, n-1
+        v(i,j) = u(i,j)
+      end do
+    end do
+  end do
+end
+"""
+
+
+def main() -> None:
+    print("Compiling (symbolic processor count)...")
+    compiled = compile_program(SOURCE)
+
+    print("\n--- communication events found by the Figure 3 analysis ---")
+    for analysis in compiled.analyses.values():
+        for event in analysis.events:
+            print(f"event {event.tag}: array {event.placed.event.array!r}, "
+                  f"vectorized inside {event.placed.level} loop(s)")
+            print(f"  SendCommMap(m) = {event.sets.send_comm_map}")
+
+    print("\n--- running on simulated machines ---")
+    params = {"n": 48, "niter": 3}
+    baseline = None
+    for nprocs in (1, 2, 4, 8):
+        outcome = run_compiled(compiled, params=params, nprocs=nprocs)
+        if baseline is None:
+            baseline = outcome.predicted_time
+        print(
+            f"p={nprocs}: validated against serial reference; "
+            f"messages={outcome.stats.total_messages}, "
+            f"predicted time={outcome.predicted_time * 1e3:.2f} ms, "
+            f"speedup={baseline / outcome.predicted_time:.2f}x"
+        )
+    print("\nconverged err =", outcome.results[0].scalars["err"])
+
+
+if __name__ == "__main__":
+    main()

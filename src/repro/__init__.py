@@ -1,0 +1,38 @@
+"""repro: a reproduction of "Using Integer Sets for Data-Parallel Program
+Analysis and Optimization" (Adve & Mellor-Crummey, PLDI 1998) — the Rice
+dHPF compiler — as a pure-Python library.
+
+Layered architecture:
+
+* :mod:`repro.isets` — Omega-like Presburger set/map library (substrate);
+* :mod:`repro.lang` — mini-HPF frontend and serial reference interpreter;
+* :mod:`repro.hpf` — data-mapping semantics (ALIGN/DISTRIBUTE, VP model);
+* :mod:`repro.core` — the paper's set-equation analyses and the driver;
+* :mod:`repro.codegen` — SPMD node-program generation;
+* :mod:`repro.runtime` — simulated message-passing machine + cost model;
+* :mod:`repro.programs` — benchmark programs (JACOBI, TOMCATV, ...).
+
+Quick start::
+
+    from repro import compile_program, run_compiled
+    compiled = compile_program(source_text)
+    outcome = run_compiled(compiled, params={"n": 64}, nprocs=4)
+    print(outcome.speedup)
+"""
+
+from .core.driver import CompiledProgram, compile_program
+from .core.options import CompilerOptions
+from .runtime.cost import CostModel
+from .runtime.harness import RunOutcome, run_compiled
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "CompilerOptions",
+    "CostModel",
+    "RunOutcome",
+    "__version__",
+    "compile_program",
+    "run_compiled",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface: compile and run mini-HPF programs.
+
+Usage::
+
+    python -m repro compile prog.hpf [--source | --listing | --phases]
+    python -m repro run prog.hpf --nprocs 4 --param n=64 --param niter=3
+    python -m repro sets '{[i] : 1 <= i <= 20 and exists(a : i = 3a)}'
+
+``compile`` prints the compilation listing (default), the generated SPMD
+node program, or the phase-time breakdown.  ``run`` executes on the
+simulated machine, validates against the serial interpreter, and reports
+messages/bytes and the cost-model prediction.  ``sets`` evaluates a set
+expression and enumerates it (small sets; parameters via --param).
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+from typing import Dict, List
+
+# Piping output into `head` is routine; die quietly on SIGPIPE.
+try:
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+except (AttributeError, ValueError):
+    pass
+
+
+def _parse_params(pairs: List[str]) -> Dict[str, int]:
+    params: Dict[str, int] = {}
+    for pair in pairs or []:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"--param expects name=value, got {pair!r}")
+        params[name] = int(value)
+    return params
+
+
+def _options_from(args) -> "CompilerOptions":
+    from .core.options import CompilerOptions
+
+    return CompilerOptions(
+        coalesce=not args.no_coalesce,
+        inplace=not args.no_inplace,
+        loop_split=args.loop_split,
+        active_vp=not args.no_active_vp,
+        buffer_mode=args.buffer_mode,
+    )
+
+
+def _add_option_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-coalesce", action="store_true",
+                        help="disable message coalescing (§3.2)")
+    parser.add_argument("--no-inplace", action="store_true",
+                        help="disable in-place communication (§3.3)")
+    parser.add_argument("--loop-split", action="store_true",
+                        help="enable non-local index-set splitting (§3.4)")
+    parser.add_argument("--no-active-vp", action="store_true",
+                        help="disable active-VP restriction (§4.1)")
+    parser.add_argument("--buffer-mode", choices=("overlap", "direct"),
+                        default="overlap")
+
+
+def cmd_compile(args) -> int:
+    from . import compile_program
+
+    source = open(args.program).read()
+    compiled = compile_program(source, _options_from(args))
+    if args.source:
+        print(compiled.source)
+    elif args.phases:
+        print(compiled.phases.format_table("compile-time phases"))
+    else:
+        print(compiled.listing())
+    return 0
+
+
+def cmd_run(args) -> int:
+    from . import compile_program, run_compiled
+
+    source = open(args.program).read()
+    compiled = compile_program(source, _options_from(args))
+    outcome = run_compiled(
+        compiled,
+        params=_parse_params(args.param),
+        nprocs=args.nprocs,
+        validate=not args.no_validate,
+    )
+    status = "skipped" if args.no_validate else "OK"
+    print(f"validation: {status}")
+    print(f"processors: {args.nprocs}")
+    print(f"messages:   {outcome.stats.total_messages} "
+          f"({outcome.stats.total_bytes} payload bytes, "
+          f"{outcome.stats.total_copies} copied)")
+    print(f"collectives: "
+          f"{sum(r.trace.collectives for r in outcome.results)}")
+    print(f"predicted time: {outcome.predicted_time * 1e3:.3f} ms "
+          f"(serial estimate {outcome.serial_time * 1e3:.3f} ms, "
+          f"speedup {outcome.speedup:.2f}x)")
+    for name in sorted(outcome.results[0].scalars):
+        print(f"scalar {name} = {outcome.results[0].scalars[name]}")
+    return 0
+
+
+def cmd_sets(args) -> int:
+    from .isets import enumerate_points, parse_map, parse_set
+    from .isets.errors import ParseError
+
+    params = _parse_params(args.param)
+    text = args.expression
+    try:
+        obj = parse_set(text)
+    except ParseError:
+        obj = parse_map(text)
+    print(obj)
+    if not obj.space.is_map:
+        try:
+            points = enumerate_points(obj, params)
+        except Exception as exc:
+            print(f"(not enumerable: {exc})")
+            return 0
+        print(f"{len(points)} point(s):")
+        for point in points[: args.limit]:
+            print("  ", point)
+        if len(points) > args.limit:
+            print(f"   ... {len(points) - args.limit} more")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="dHPF reproduction: integer-set data-parallel compiler",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a mini-HPF program")
+    p_compile.add_argument("program")
+    what = p_compile.add_mutually_exclusive_group()
+    what.add_argument("--source", action="store_true",
+                      help="print the generated SPMD node program")
+    what.add_argument("--listing", action="store_true",
+                      help="print the compilation listing (default)")
+    what.add_argument("--phases", action="store_true",
+                      help="print the compile-time phase breakdown")
+    _add_option_flags(p_compile)
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_run = sub.add_parser("run", help="run on the simulated machine")
+    p_run.add_argument("program")
+    p_run.add_argument("--nprocs", type=int, default=4)
+    p_run.add_argument("--param", action="append", metavar="NAME=VALUE")
+    p_run.add_argument("--no-validate", action="store_true")
+    _add_option_flags(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_sets = sub.add_parser("sets", help="evaluate a set expression")
+    p_sets.add_argument("expression")
+    p_sets.add_argument("--param", action="append", metavar="NAME=VALUE")
+    p_sets.add_argument("--limit", type=int, default=50)
+    p_sets.set_defaults(func=cmd_sets)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

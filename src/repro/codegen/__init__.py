@@ -1,0 +1,22 @@
+"""SPMD code generation from analysis results."""
+
+from .pyexpr import (
+    PRELUDE,
+    SourceWriter,
+    emit_conjunct_guard,
+    emit_linexpr,
+    emit_set_guard,
+)
+from .spmd import AnalyzedEvent, CompiledModule, ProcedureAnalysis, SpmdEmitter
+
+__all__ = [
+    "AnalyzedEvent",
+    "CompiledModule",
+    "PRELUDE",
+    "ProcedureAnalysis",
+    "SourceWriter",
+    "SpmdEmitter",
+    "emit_conjunct_guard",
+    "emit_linexpr",
+    "emit_set_guard",
+]

@@ -1,0 +1,44 @@
+"""Core analyses and the compiler driver (the paper's contribution)."""
+
+from .commsets import CommEvent, CommSets, EventRef, compute_comm_sets
+from .context import LoopInfo, Reference, StmtContext, collect_contexts
+from .cp import CPInfo, recognize_reduction, resolve_cp
+from .depend import carried_into, dependence_level
+from .driver import CompiledProgram, compile_program
+from .events import PlacedEvent, build_events, is_potentially_nonlocal
+from .inplace import InPlaceResult, analyze_contiguity, evaluate_at_runtime
+from .loopsplit import SplitSets, compute_split_sets
+from .options import CompilerOptions
+from .phases import PhaseTimer
+from .vp import ActiveVPSets, busy_vp_set, compute_active_vp_sets
+
+__all__ = [
+    "ActiveVPSets",
+    "CommEvent",
+    "CommSets",
+    "CompiledProgram",
+    "CompilerOptions",
+    "CPInfo",
+    "EventRef",
+    "InPlaceResult",
+    "LoopInfo",
+    "PhaseTimer",
+    "PlacedEvent",
+    "Reference",
+    "SplitSets",
+    "StmtContext",
+    "analyze_contiguity",
+    "build_events",
+    "busy_vp_set",
+    "carried_into",
+    "collect_contexts",
+    "compile_program",
+    "compute_active_vp_sets",
+    "compute_comm_sets",
+    "compute_split_sets",
+    "dependence_level",
+    "evaluate_at_runtime",
+    "is_potentially_nonlocal",
+    "recognize_reduction",
+    "resolve_cp",
+]

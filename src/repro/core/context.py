@@ -1,0 +1,229 @@
+"""Statement contexts: loop nests, iteration sets, reference collection.
+
+For every assignment the compiler records its enclosing DO loops
+(outer-to-inner), the iteration-space set ``loop_k`` of paper Figure 1
+(loop bounds, constant steps as strides, and any enclosing affine IF
+conditions), and the read/write array references with affine subscripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isets import (
+    Constraint,
+    IntegerSet,
+    LinExpr,
+    stride_constraint,
+)
+from ..lang.affine import to_affine
+from ..lang.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Do,
+    Expr,
+    If,
+    Name,
+    Procedure,
+    Program,
+    Stmt,
+    expr_array_refs,
+)
+from ..lang.errors import NonAffineSubscriptError, SemanticError
+
+
+@dataclass
+class LoopInfo:
+    """One enclosing DO loop (affine bounds, constant step)."""
+
+    var: str
+    lower: LinExpr
+    upper: LinExpr
+    step: int
+    node: Do
+
+
+@dataclass
+class Reference:
+    """An array reference with affine subscripts, plus its access kind."""
+
+    ref: ArrayRef
+    is_write: bool
+    subscripts: Tuple[LinExpr, ...]
+
+    @property
+    def array(self) -> str:
+        return self.ref.array
+
+
+@dataclass
+class StmtContext:
+    """An assignment with its loop context and references."""
+
+    stmt: Assign
+    loops: List[LoopInfo]
+    guards: List[Constraint]  # affine IF conditions enclosing the stmt
+    procedure: str
+    order: int = 0  # textual position within the procedure
+
+    @property
+    def iter_dims(self) -> Tuple[str, ...]:
+        return tuple(info.var for info in self.loops)
+
+    def iteration_set(self) -> IntegerSet:
+        """``loop_k``: bounds, strides, and affine guard constraints."""
+        constraints: List[Constraint] = []
+        wildcards: List[str] = []
+        for info in self.loops:
+            index = LinExpr.var(info.var)
+            constraints.append(Constraint.geq(index, info.lower))
+            constraints.append(Constraint.leq(index, info.upper))
+            if info.step != 1:
+                stride, witness = stride_constraint(
+                    index, info.step, info.lower
+                )
+                constraints.append(stride)
+                wildcards.append(witness)
+        constraints.extend(self.guards)
+        return IntegerSet.from_constraints(
+            self.iter_dims, constraints, wildcards
+        )
+
+    def write_ref(self) -> Optional[Reference]:
+        for ref in self.references():
+            if ref.is_write:
+                return ref
+        return None
+
+    def references(self) -> List[Reference]:
+        refs: List[Reference] = []
+        if isinstance(self.stmt.lhs, ArrayRef):
+            refs.append(_make_reference(self.stmt.lhs, True))
+        for node in expr_array_refs(self.stmt.rhs):
+            refs.append(_make_reference(node, False))
+        # Subscripts inside the LHS subscripts are reads too.
+        if isinstance(self.stmt.lhs, ArrayRef):
+            for sub in self.stmt.lhs.subscripts:
+                for node in expr_array_refs(sub):
+                    refs.append(_make_reference(node, False))
+        return refs
+
+    def depth(self) -> int:
+        return len(self.loops)
+
+
+def _make_reference(node: ArrayRef, is_write: bool) -> Reference:
+    subscripts = tuple(to_affine(sub) for sub in node.subscripts)
+    return Reference(node, is_write, subscripts)
+
+
+def _affine_condition(cond: Expr) -> Optional[List[Constraint]]:
+    """Affine constraints for an IF condition, or None if data-dependent."""
+    if not isinstance(cond, BinOp):
+        return None
+    try:
+        left = to_affine(cond.left)
+        right = to_affine(cond.right)
+    except Exception:
+        return None
+    if cond.op == "<":
+        return [Constraint.lt(left, right)]
+    if cond.op == "<=":
+        return [Constraint.leq(left, right)]
+    if cond.op == ">":
+        return [Constraint.gt(left, right)]
+    if cond.op == ">=":
+        return [Constraint.geq(left, right)]
+    if cond.op == "==":
+        return [Constraint.eq(left, right)]
+    return None
+
+
+def collect_contexts(
+    program: Program, procedure: Procedure
+) -> List[StmtContext]:
+    """All assignment contexts of a procedure, in program order.
+
+    ``call`` statements are inlined (the paper's SP study predates full
+    interprocedural CP; dHPF inlines or propagates — we inline, which
+    preserves the analysis semantics for our benchmark programs).
+    """
+    contexts: List[StmtContext] = []
+    _collect(
+        program, procedure.name, procedure.body, [], [], contexts, set()
+    )
+    for index, context in enumerate(contexts):
+        context.order = index
+    return contexts
+
+
+def _collect(
+    program: Program,
+    proc_name: str,
+    body: Sequence[Stmt],
+    loops: List[LoopInfo],
+    guards: List[Constraint],
+    out: List[StmtContext],
+    call_stack: set,
+) -> None:
+    from ..lang.ast import CallStmt
+
+    for stmt in body:
+        if isinstance(stmt, Assign):
+            out.append(
+                StmtContext(stmt, list(loops), list(guards), proc_name)
+            )
+        elif isinstance(stmt, Do):
+            try:
+                lower = to_affine(stmt.lower)
+                upper = to_affine(stmt.upper)
+                step_expr = to_affine(stmt.step)
+            except NonAffineSubscriptError as exc:
+                raise SemanticError(
+                    f"loop {stmt.var}: non-affine bounds ({exc})"
+                ) from exc
+            if not step_expr.is_constant():
+                raise SemanticError(
+                    f"loop {stmt.var}: symbolic stride is outside the "
+                    f"framework (paper §4); use a runtime technique"
+                )
+            info = LoopInfo(
+                stmt.var, lower, upper, step_expr.constant, stmt
+            )
+            _collect(
+                program, proc_name, stmt.body, loops + [info], guards,
+                out, call_stack,
+            )
+        elif isinstance(stmt, If):
+            condition = _affine_condition(stmt.cond)
+            if condition is not None:
+                _collect(
+                    program, proc_name, stmt.then_body, loops,
+                    guards + condition, out, call_stack,
+                )
+                negated: List[Constraint] = []
+                if len(condition) == 1 and not condition[0].is_equality:
+                    negated = list(condition[0].negated())
+                _collect(
+                    program, proc_name, stmt.else_body, loops,
+                    guards + negated, out, call_stack,
+                )
+            else:
+                _collect(
+                    program, proc_name, stmt.then_body, loops, guards,
+                    out, call_stack,
+                )
+                _collect(
+                    program, proc_name, stmt.else_body, loops, guards,
+                    out, call_stack,
+                )
+        elif isinstance(stmt, CallStmt):
+            if stmt.name in call_stack:
+                raise SemanticError(f"recursive call to {stmt.name!r}")
+            callee = program.procedure(stmt.name)
+            _collect(
+                program, proc_name, callee.body, loops, guards, out,
+                call_stack | {stmt.name},
+            )

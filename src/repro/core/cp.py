@@ -1,0 +1,157 @@
+"""The computation-partitioning model (paper Section 3.1).
+
+A statement's CP is a union of ``ON_HOME A_j(f_j(i))`` terms — strictly more
+general than the owner-computes rule.  The explicit form is the mapping
+
+    CPMap = ∪_j (Layout_{A_j} ∘ RefMap_j^{-1}) ∩_range loop
+
+from (virtual) processors to the statement instances they execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..isets import Conjunct, IntegerMap, IntegerSet, Space
+from ..hpf.layout import DataMapping, Layout
+from ..lang.ast import ArrayRef, Call, ComputationPartitioning, Name, OnHomeTerm
+from ..lang.errors import SemanticError
+from .context import Reference, StmtContext, _make_reference
+from .refmap import reference_map
+
+
+@dataclass
+class CPInfo:
+    """Resolved computation partitioning of one statement.
+
+    ``cp_map`` maps (virtual) processor tuples to the loop iterations they
+    execute.  ``replicated`` marks statements every processor executes
+    (scalar assignments and statements with no distributed reference).
+    ``reduction`` carries the recognized reduction operator, if any.
+    """
+
+    context: StmtContext
+    layout: Optional[Layout]  # layout of the CP's home array (first term)
+    cp_map: IntegerMap
+    terms: Tuple[Reference, ...]
+    replicated: bool = False
+    reduction: Optional[str] = None  # '+', 'max', 'min'
+
+    @property
+    def iter_dims(self) -> Tuple[str, ...]:
+        return self.context.iter_dims
+
+    @property
+    def grid(self):
+        if self.layout is not None:
+            return self.layout.grid
+        raise SemanticError("CP has no associated grid")
+
+    def local_iterations(self) -> IntegerSet:
+        """``cpIterSet = CPMap({m})``: iterations of the executing proc."""
+        cached = getattr(self, "_local_iters", None)
+        if cached is not None:
+            return cached
+        if self.replicated:
+            result = self.context.iteration_set()
+        else:
+            binding = dict(zip(self.cp_map.in_dims, self.grid.my_names))
+            result = self.cp_map.fix_input(binding).range().simplify()
+        object.__setattr__(self, "_local_iters", result)
+        return result
+
+
+def recognize_reduction(context: StmtContext) -> Optional[str]:
+    """Detect ``s = s + e`` / ``s = max(s, e)`` / ``s = min(s, e)``.
+
+    The paper notes dHPF recognizes and implements such reductions
+    efficiently (its TOMCATV study leans on two maxloc reductions).
+    """
+    stmt = context.stmt
+    if not isinstance(stmt.lhs, Name) or not context.loops:
+        return None
+    target = stmt.lhs.ident
+    rhs = stmt.rhs
+    if isinstance(rhs, Call) and rhs.func in ("max", "min"):
+        if any(isinstance(a, Name) and a.ident == target for a in rhs.args):
+            return rhs.func
+    from ..lang.ast import BinOp
+
+    if isinstance(rhs, BinOp) and rhs.op == "+":
+        for side in (rhs.left, rhs.right):
+            if isinstance(side, Name) and side.ident == target:
+                return "+"
+    return None
+
+
+def resolve_cp(
+    mapping: DataMapping, context: StmtContext
+) -> CPInfo:
+    """Determine the statement's CP (explicit ON_HOME or owner-computes)."""
+    terms: List[Reference] = []
+    if context.stmt.cp is not None:
+        for term in context.stmt.cp.terms:
+            terms.append(_make_reference(term.ref, False))
+    elif isinstance(context.stmt.lhs, ArrayRef):
+        terms.append(_make_reference(context.stmt.lhs, True))
+
+    reduction = recognize_reduction(context)
+    if reduction is not None and not terms:
+        # Reduction over distributed data: partition like the owner of the
+        # first distributed array referenced on the RHS.
+        for reference in context.references():
+            layout = mapping.layouts.get(reference.array)
+            if layout is not None and not layout.is_fully_replicated():
+                terms.append(reference)
+                break
+
+    distributed_terms = [
+        t for t in terms
+        if not mapping.layout(t.array).is_fully_replicated()
+    ]
+    if not distributed_terms:
+        # Scalar statement (or all-replicated homes): replicated execution.
+        grid = next(iter(mapping.grids.values()))
+        iteration = context.iteration_set()
+        space = Space(grid.dim_names, iteration.space.in_dims)
+        conjuncts = []
+        proc = grid.proc_set()
+        for a in proc.conjuncts:
+            for b in iteration.conjuncts:
+                conjuncts.append(a.conjoin(b))
+        cp_map = IntegerMap(space, conjuncts)
+        # A layout on the grid (for my-symbols); any one will do, else None.
+        layout = _any_layout_on_grid(mapping, grid)
+        return CPInfo(
+            context, layout, cp_map, tuple(terms),
+            replicated=True, reduction=reduction,
+        )
+
+    home = distributed_terms[0]
+    layout = mapping.layout(home.array)
+    iteration = context.iteration_set()
+    cp_map: Optional[IntegerMap] = None
+    for term in distributed_terms:
+        term_layout = mapping.layout(term.array)
+        if term_layout.grid is not layout.grid:
+            raise SemanticError(
+                "ON_HOME terms spanning different processor arrays are "
+                "kept as mapping lists in dHPF (§5); this reproduction "
+                "requires a single grid per statement"
+            )
+        ref_map = reference_map(context, term, term_layout)
+        term_map = term_layout.map.then(ref_map.inverse())
+        cp_map = term_map if cp_map is None else cp_map.union(term_map)
+    cp_map = cp_map.restrict_range(iteration).simplify()
+    return CPInfo(
+        context, layout, cp_map, tuple(distributed_terms),
+        reduction=reduction,
+    )
+
+
+def _any_layout_on_grid(mapping: DataMapping, grid) -> Optional[Layout]:
+    for layout in mapping.layouts.values():
+        if layout.grid is grid:
+            return layout
+    return None

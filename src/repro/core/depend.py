@@ -1,0 +1,146 @@
+"""Set-based data-dependence analysis (Pugh-style, memory based).
+
+Used to decide how far communication for a reference can be vectorized
+(hoisted): communication for a read of array ``A`` placed at loop level
+``v`` is legal only if no write to ``A`` inside the loops being vectorized
+over can produce a value consumed by a later iteration's read — i.e. there
+is no flow dependence from the write to the read carried by a loop deeper
+than ``v``.
+
+Dependences are computed exactly as integer map emptiness questions, which
+is precisely the application Pugh's Omega test was built for (reference
+[25] of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isets import Constraint, IntegerMap, IntegerSet, LinExpr
+from ..hpf.layout import Layout
+from .context import Reference, StmtContext
+from .refmap import reference_map
+
+
+def _lex_later_constraints(
+    in_dims: Tuple[str, ...],
+    out_dims: Tuple[str, ...],
+    level: int,
+) -> List[Constraint]:
+    """``out`` follows ``in`` with equality on the first ``level`` dims and
+    strict increase at dim ``level`` (0-based)."""
+    constraints = [
+        Constraint.eq(LinExpr.var(a), LinExpr.var(b))
+        for a, b in zip(in_dims[:level], out_dims[:level])
+    ]
+    constraints.append(
+        Constraint.lt(
+            LinExpr.var(in_dims[level]), LinExpr.var(out_dims[level])
+        )
+    )
+    return constraints
+
+
+def dependence_level(
+    source_ctx: StmtContext,
+    source_ref: Reference,
+    sink_ctx: StmtContext,
+    sink_ref: Reference,
+    layout: Layout,
+    common_depth: int,
+) -> Optional[int]:
+    """Deepest common loop level carrying a dependence source→sink.
+
+    Returns the 0-based level of the *deepest* common loop whose iteration
+    change can carry the dependence (communication may not be vectorized
+    past a carrying loop), or ``None`` when the references never touch the
+    same element on distinct iterations of the common loops.
+    ``common_depth`` is the number of shared enclosing loops.
+    """
+    if source_ref.array != sink_ref.array:
+        return None
+    src_map = reference_map(source_ctx, source_ref, layout)
+    src_map = src_map.restrict_domain(source_ctx.iteration_set())
+    sink_map = reference_map(sink_ctx, sink_ref, layout)
+    sink_map = sink_map.restrict_domain(sink_ctx.iteration_set())
+    # iterations of source -> iterations of sink touching the same element
+    shared = src_map.then(sink_map.inverse())
+    for level in range(common_depth - 1, -1, -1):
+        ordered = shared.constrain(
+            _lex_later_constraints(
+                shared.in_dims, shared.out_dims, level
+            )
+        )
+        if not ordered.is_empty():
+            return level
+    return None
+
+
+def carried_into(
+    write_ctx: StmtContext,
+    write_ref: Reference,
+    read_ctx: StmtContext,
+    read_ref: Reference,
+    layout: Layout,
+    common_depth: int,
+) -> int:
+    """Vectorization limit: number of outer loops communication may be
+    hoisted out of is ``depth - limit`` where limit is the returned level.
+
+    A returned value of ``k`` means loops ``k..depth-1`` (0-based, of the
+    *read's* nest) may NOT be vectorized over; communication must be placed
+    inside loop ``k-1``...  Concretely: communication for the read can be
+    hoisted out of all loops strictly deeper than the deepest
+    dependence-carrying level.
+    """
+    level = dependence_level(
+        write_ctx, write_ref, read_ctx, read_ref, layout, common_depth
+    )
+    if level is None:
+        return 0
+    return level + 1
+
+
+def loop_independent_dependence(
+    source_ctx: StmtContext,
+    source_ref: Reference,
+    sink_ctx: StmtContext,
+    sink_ref: Reference,
+    layout: Layout,
+    common_depth: int,
+) -> bool:
+    """Same-iteration dependence: the references touch a common element
+    with equal indices on all ``common_depth`` shared loops.  Such a
+    dependence (source textually before sink) pins communication inside
+    every shared loop even though no loop *carries* it."""
+    if source_ref.array != sink_ref.array:
+        return False
+    src_map = reference_map(source_ctx, source_ref, layout)
+    src_map = src_map.restrict_domain(source_ctx.iteration_set())
+    sink_map = reference_map(sink_ctx, sink_ref, layout)
+    sink_map = sink_map.restrict_domain(sink_ctx.iteration_set())
+    shared = src_map.then(sink_map.inverse())
+    same_prefix = [
+        Constraint.eq(LinExpr.var(a), LinExpr.var(b))
+        for a, b in zip(
+            shared.in_dims[:common_depth], shared.out_dims[:common_depth]
+        )
+    ]
+    return not shared.constrain(same_prefix).is_empty()
+
+
+def same_element_possible(
+    a_ctx: StmtContext,
+    a_ref: Reference,
+    b_ctx: StmtContext,
+    b_ref: Reference,
+    layout: Layout,
+) -> bool:
+    """Whether the two references can ever touch a common element."""
+    if a_ref.array != b_ref.array:
+        return False
+    a_map = reference_map(a_ctx, a_ref, layout)
+    a_data = a_map.apply(a_ctx.iteration_set())
+    b_map = reference_map(b_ctx, b_ref, layout)
+    b_data = b_map.apply(b_ctx.iteration_set())
+    return not a_data.intersect(b_data).is_empty()

@@ -1,0 +1,220 @@
+"""Identifying, vectorizing, and coalescing communication events.
+
+* A reference is *potentially non-local* when some (virtual) processor
+  executes an iteration that touches data it does not own — an emptiness
+  question on ``(CPMap ∘ RefMap) − Layout`` (paper Section 3.2).
+* **Message vectorization** hoists a reference's communication out of
+  enclosing loops as far as data dependences allow (``repro.core.depend``).
+* **Message coalescing** merges the communication of references to the same
+  array placed at the same point into one logical event, unioning their
+  communication sets (Figure 3 handles the union seamlessly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hpf.layout import DataMapping, Layout
+from ..lang.ast import Do
+from .commsets import CommEvent, EventRef
+from .context import Reference, StmtContext
+from .cp import CPInfo
+from .depend import carried_into, loop_independent_dependence
+from .refmap import reference_map
+
+
+@dataclass
+class PlacedEvent:
+    """A communication event with its position in the statement tree.
+
+    ``anchor`` is the loop (Do node) the communication sits immediately
+    outside of — communication happens inside loops ``0..level-1`` of the
+    anchor statement's nest.  ``when`` is ``"before"`` (data needed by
+    reads, placed before the anchor) or ``"after"`` (non-local write
+    updates, flushed after the anchor completes).
+    """
+
+    event: CommEvent
+    anchor: object  # Do node or the Assign itself when level == depth
+    when: str  # 'before' | 'after'
+    level: int
+    key: Tuple = ()
+
+
+def is_potentially_nonlocal(
+    cp: CPInfo, reference: Reference, layout: Layout
+) -> bool:
+    """Can any processor access an element of this reference it does not
+    own?  (Definition of non-local references, paper Section 3.2.)"""
+    if layout.is_fully_replicated() and not reference.is_write:
+        return False
+    ref_map = reference_map(cp.context, reference, layout)
+    accessed = cp.cp_map.then(ref_map)  # {[p] -> [a]}
+    nonlocal_part = accessed.subtract(layout.map)
+    if not nonlocal_part.is_empty():
+        return True
+    if reference.is_write and layout.replicated_dims:
+        # A write is also non-local when some copy's owner does not itself
+        # execute the write (replicated layouts): owners of written data
+        # minus the writers.
+        written = accessed.range()
+        owners = layout.map.restrict_range(written)
+        unwritten_copies = owners.subtract(accessed)
+        return not unwritten_copies.is_empty()
+    return False
+
+
+def placement_level(
+    cp: CPInfo,
+    reference: Reference,
+    all_contexts: Sequence[Tuple[CPInfo, StmtContext]],
+    mapping: DataMapping,
+) -> int:
+    """How many outer loops the communication must remain inside.
+
+    0 = fully vectorized out of the whole nest.  For a read, every write to
+    the same array sharing loops forces placement inside the deepest
+    dependence-carrying level; symmetrically for non-local writes against
+    later reads.
+    """
+    context = cp.context
+    layout = mapping.layout(reference.array)
+    level = 0
+    for other_cp, other_ctx in all_contexts:
+        common = _common_depth(context, other_ctx)
+        if common == 0:
+            continue
+        for other_ref in other_ctx.references():
+            if other_ref.array != reference.array:
+                continue
+            if not reference.is_write and other_ref.is_write:
+                level = max(
+                    level,
+                    carried_into(
+                        other_ctx, other_ref, context, reference,
+                        layout, common,
+                    ),
+                )
+                # A write earlier in the same iteration of the shared
+                # loops (loop-independent flow) pins the communication
+                # inside all of them.
+                if (
+                    other_ctx.order <= context.order
+                    and level < common
+                    and loop_independent_dependence(
+                        other_ctx, other_ref, context, reference,
+                        layout, common,
+                    )
+                ):
+                    level = max(level, common)
+            elif reference.is_write and not other_ref.is_write:
+                level = max(
+                    level,
+                    carried_into(
+                        context, reference, other_ctx, other_ref,
+                        layout, common,
+                    ),
+                )
+                if (
+                    context.order <= other_ctx.order
+                    and level < common
+                    and loop_independent_dependence(
+                        context, reference, other_ctx, other_ref,
+                        layout, common,
+                    )
+                ):
+                    level = max(level, common)
+            elif reference.is_write and other_ref.is_write:
+                # Output dependences also pin the flush point.
+                level = max(
+                    level,
+                    carried_into(
+                        context, reference, other_ctx, other_ref,
+                        layout, common,
+                    ),
+                )
+    return min(level, context.depth())
+
+
+def _common_depth(a: StmtContext, b: StmtContext) -> int:
+    depth = 0
+    for la, lb in zip(a.loops, b.loops):
+        if la.node is lb.node:
+            depth += 1
+        else:
+            break
+    return depth
+
+
+def build_events(
+    mapping: DataMapping,
+    cp_infos: Sequence[CPInfo],
+    coalesce: bool = True,
+) -> List[PlacedEvent]:
+    """Identify non-local references and group them into placed events."""
+    pairs = [(cp, cp.context) for cp in cp_infos]
+    raw: List[Tuple[Tuple, EventRef, int, object, str]] = []
+    for cp in cp_infos:
+        if cp.replicated and cp.layout is None:
+            continue
+        for reference in cp.context.references():
+            layout = mapping.layouts.get(reference.array)
+            if layout is None or layout.is_fully_replicated():
+                if layout is None or not reference.is_write:
+                    continue
+            if not is_potentially_nonlocal(cp, reference, layout):
+                continue
+            level = placement_level(cp, reference, pairs, mapping)
+            anchor, when = _anchor_for(cp.context, reference, level)
+            outer = tuple(
+                info.var for info in cp.context.loops[:level]
+            )
+            key = (
+                reference.array,
+                id(anchor),
+                when,
+                level,
+                outer,
+            )
+            raw.append(
+                (key, EventRef(cp, reference), level, anchor, when)
+            )
+
+    groups: Dict[Tuple, List] = {}
+    order: List[Tuple] = []
+    for key, event_ref, level, anchor, when in raw:
+        group_key = key if coalesce else key + (id(event_ref.reference.ref),
+                                                event_ref.cp.context.stmt.stmt_id)
+        if group_key not in groups:
+            groups[group_key] = []
+            order.append(group_key)
+        groups[group_key].append((event_ref, level, anchor, when, key))
+
+    events: List[PlacedEvent] = []
+    for group_key in order:
+        members = groups[group_key]
+        event_ref0, level, anchor, when, key = members[0]
+        array = event_ref0.reference.array
+        layout = mapping.layout(array)
+        outer_vars = key[4]
+        event = CommEvent(
+            array=array,
+            layout=layout,
+            level=level,
+            refs=[m[0] for m in members],
+            outer_symbols=tuple(f"{v}_cur" for v in outer_vars),
+        )
+        events.append(
+            PlacedEvent(event, anchor, when, level, key=group_key)
+        )
+    return events
+
+
+def _anchor_for(
+    context: StmtContext, reference: Reference, level: int
+) -> Tuple[object, str]:
+    when = "after" if reference.is_write else "before"
+    if level >= context.depth():
+        return context.stmt, when
+    return context.loops[level].node, when

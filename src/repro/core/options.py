@@ -1,0 +1,32 @@
+"""Compiler option flags (optimization toggles for the ablation studies)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class CompilerOptions:
+    """Optimization switches of the dHPF reproduction.
+
+    Every flag corresponds to an optimization the paper describes; the
+    ablation benchmarks flip them individually.
+    """
+
+    #: message coalescing (§3.2): merge same-array, same-placement refs.
+    coalesce: bool = True
+    #: in-place communication recognition (§3.3).
+    inplace: bool = True
+    #: non-local index-set splitting (§3.4 / Figure 4).
+    loop_split: bool = False
+    #: restrict VP loops to active virtual processors (§4.1 / Figure 5).
+    active_vp: bool = True
+    #: guard-lifting depth for MMCodeGen (§5).
+    lift_guards: int = 1
+    #: buffer handling: 'overlap' unpacks into array storage (copy cost);
+    #: 'direct' references received data in place (check cost unless the
+    #: loop is split).
+    buffer_mode: str = "overlap"
+
+    def with_(self, **changes) -> "CompilerOptions":
+        return replace(self, **changes)

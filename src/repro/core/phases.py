@@ -1,0 +1,64 @@
+"""Compile-phase timing (the instrumentation behind our Table 1).
+
+The paper profiles dHPF with Quantify and reports per-phase percentages of
+total compilation time (its Table 1).  We record wall-clock time per named
+phase with a context manager; phases may nest (``comm/contiguity``), and the
+report computes each phase's share of the total, like the paper's table.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class PhaseTimer:
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    _stack: List[str] = field(default_factory=list)
+    wall_start: float = field(default_factory=time.perf_counter)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        qualified = "/".join(self._stack + [name])
+        self._stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[qualified] = self.totals.get(qualified, 0.0) + elapsed
+            self.counts[qualified] = self.counts.get(qualified, 0) + 1
+            self._stack.pop()
+
+    def total_time(self) -> float:
+        return time.perf_counter() - self.wall_start
+
+    def report(self) -> List[Tuple[str, float, float]]:
+        """(phase, seconds, percent-of-total) rows, hierarchical order."""
+        total = self.total_time()
+        rows = []
+        for name in sorted(self.totals):
+            seconds = self.totals[name]
+            rows.append((name, seconds, 100.0 * seconds / max(total, 1e-12)))
+        return rows
+
+    def get(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def format_table(self, title: str = "") -> str:
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(f"{'phase':40s} {'seconds':>10s} {'% total':>8s}")
+        for name, seconds, percent in self.report():
+            indent = "  " * name.count("/")
+            label = indent + name.split("/")[-1]
+            lines.append(f"{label:40s} {seconds:10.3f} {percent:8.1f}")
+        lines.append(
+            f"{'total wall-clock':40s} {self.total_time():10.3f} {100.0:8.1f}"
+        )
+        return "\n".join(lines)

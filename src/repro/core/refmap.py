@@ -1,0 +1,32 @@
+"""Reference maps: ``RefMap : loop_k -> data_k`` (paper Figure 1).
+
+A reference ``A(f(i))`` in a statement with index vector ``i`` yields the
+map ``{ [i] -> [a] : a_k = f_k(i) }``; the paper's equations compose these
+with layouts and iteration sets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isets import Constraint, IntegerMap, LinExpr, Space
+from ..hpf.layout import Layout
+from .context import Reference, StmtContext
+
+
+def reference_map(
+    context: StmtContext, reference: Reference, layout: Layout
+) -> IntegerMap:
+    """Build RefMap for a reference, with output dims matching the layout."""
+    iter_dims = context.iter_dims
+    data_dims = layout.data_dims
+    if len(data_dims) != len(reference.subscripts):
+        raise ValueError(
+            f"rank mismatch: {reference.ref} vs layout of {layout.array}"
+        )
+    out_dims = tuple(f"{d}'" if d in iter_dims else d for d in data_dims)
+    constraints = [
+        Constraint.eq(LinExpr.var(out_dim), subscript)
+        for out_dim, subscript in zip(out_dims, reference.subscripts)
+    ]
+    return IntegerMap.from_constraints(iter_dims, out_dims, constraints)

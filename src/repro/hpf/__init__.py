@@ -1,0 +1,30 @@
+"""HPF data-mapping semantics: grids, distributions, layout maps."""
+
+from .layout import (
+    DataMapping,
+    DimOwnership,
+    Layout,
+    PHYS_BLOCK,
+    PHYS_CYCLIC,
+    PHYS_CYCLIC_K,
+    TemplateMapping,
+    VP_BLOCK,
+    VP_CYCLIC,
+    VP_CYCLIC_K,
+)
+from .procgrid import ProcessorGrid, RuntimeBinding
+
+__all__ = [
+    "DataMapping",
+    "DimOwnership",
+    "Layout",
+    "PHYS_BLOCK",
+    "PHYS_CYCLIC",
+    "PHYS_CYCLIC_K",
+    "ProcessorGrid",
+    "RuntimeBinding",
+    "TemplateMapping",
+    "VP_BLOCK",
+    "VP_CYCLIC",
+    "VP_CYCLIC_K",
+]

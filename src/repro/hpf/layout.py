@@ -1,0 +1,512 @@
+"""Construction of Layout maps: ``proc_k -> data_k`` (paper Figures 1-2).
+
+``Layout_A = Dist_T ∘ Align_A^{-1}`` in the paper's terms; we build the
+composition directly as constraints over {grid dims} ∪ {array dims} with the
+template dims as existential variables.
+
+The **virtual-processor refinement** (Section 4.1) is applied per dimension
+whenever the distribution is not exactly representable (a symbolic block
+size or processor count would need a product of symbols):
+
+* ``block``: the VP coordinate ``v`` owns template elements
+  ``[v, v+B-1]`` and exactly one VP per physical processor is active
+  (``vm = B*m + tlb``), so no VP loops are ever needed;
+* ``cyclic``: the VP coordinate *is* the template index; physical owner of
+  VP ``v`` is ``(v - tlb) mod P``;
+* ``cyclic(k)``: the VP coordinate is the block index; owner of VP ``v``
+  is ``(v - 1) mod P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..isets import (
+    Conjunct,
+    Constraint,
+    IntegerMap,
+    IntegerSet,
+    LinExpr,
+    Space,
+    fresh_name,
+)
+from ..lang.affine import to_affine
+from ..lang.ast import (
+    AlignDecl,
+    ArrayDecl,
+    DistFormat,
+    DistributeDecl,
+    Program,
+    TemplateDecl,
+)
+from ..lang.errors import SemanticError
+from .procgrid import ProcessorGrid, RuntimeBinding
+
+# Ownership kinds for a grid dimension of a layout (per template dim).
+PHYS_BLOCK = "phys-block"       # exact: B*p + tlb <= t <= B*p + B - 1 + tlb
+PHYS_CYCLIC = "phys-cyclic"     # exact: t ≡ p + tlb (mod P)
+PHYS_CYCLIC_K = "phys-cyclicK"  # exact: k-blocks round robin
+VP_BLOCK = "vp-block"           # v <= t <= v + B - 1; active vm = B*m + tlb
+VP_CYCLIC = "vp-cyclic"         # t = v; owner(v) = (v - tlb) mod P
+VP_CYCLIC_K = "vp-cyclicK"      # k(v-1)+tlb <= t <= kv+tlb-1; owner (v-1)%P
+
+
+@dataclass
+class DimOwnership:
+    """How one grid dimension owns one template dimension."""
+
+    grid_dim: int
+    template_dim: int
+    kind: str
+    block_size: Union[int, LinExpr, None]  # B for block, k for cyclic(k)
+    proc_count: Union[int, LinExpr]
+    template_lb: LinExpr
+    template_ub: LinExpr
+
+    @property
+    def is_vp(self) -> bool:
+        return self.kind.startswith("vp-")
+
+    @property
+    def needs_vp_loops(self) -> bool:
+        """Block VP dims have one active VP per processor — no loops."""
+        return self.kind in (VP_CYCLIC, VP_CYCLIC_K)
+
+
+@dataclass
+class TemplateMapping:
+    """A template together with its distribution onto a grid."""
+
+    decl: TemplateDecl
+    grid: ProcessorGrid
+    distribute: DistributeDecl
+    ownerships: List[Optional[DimOwnership]]  # per template dim
+    bindings: List[RuntimeBinding]
+
+
+class Layout:
+    """The layout of one array: map from (virtual) processors to elements."""
+
+    def __init__(
+        self,
+        array: str,
+        grid: ProcessorGrid,
+        owner_map: IntegerMap,
+        ownerships: List[Optional[DimOwnership]],
+        replicated_dims: Tuple[int, ...],
+        align_images: Optional[Dict[int, LinExpr]] = None,
+    ):
+        self.array = array
+        self.grid = grid
+        #: map {[grid dims] -> [array dims]}: which elements each
+        #: (virtual) processor owns.
+        self.map = owner_map
+        #: per grid dim, the ownership descriptor (None when the array is
+        #: replicated along that grid dim).
+        self.ownerships = ownerships
+        #: grid dims along which this array is replicated.
+        self.replicated_dims = replicated_dims
+        #: per grid dim, the template-image expression over the array dim
+        #: names (used by the harness for fast numeric ownership tests).
+        self.align_images: Dict[int, LinExpr] = align_images or {}
+
+    @property
+    def proc_dims(self) -> Tuple[str, ...]:
+        return self.map.in_dims
+
+    @property
+    def data_dims(self) -> Tuple[str, ...]:
+        return self.map.out_dims
+
+    def owner_symbols(self) -> Tuple[str, ...]:
+        """Symbols denoting the executing processor's (VP) coordinates."""
+        return self.grid.my_names
+
+    def local_map(self) -> IntegerMap:
+        """Layout with the domain fixed to the executing processor."""
+        binding = dict(zip(self.proc_dims, self.owner_symbols()))
+        return self.map.fix_input(binding)
+
+    def local_set(self) -> IntegerSet:
+        """Elements owned by the executing processor (``Layout({m})``)."""
+        return self.local_map().range().simplify()
+
+    def is_fully_replicated(self) -> bool:
+        return all(o is None for o in self.ownerships)
+
+    def __repr__(self) -> str:
+        return f"Layout({self.array}: {self.map})"
+
+
+class DataMapping:
+    """Whole-program mapping model: grids, templates, layouts."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        if not program.processors:
+            raise SemanticError(
+                "program declares no processors; nothing to distribute on"
+            )
+        self.grids: Dict[str, ProcessorGrid] = {
+            decl.name: ProcessorGrid(decl) for decl in program.processors
+        }
+        self.templates: Dict[str, TemplateMapping] = {}
+        for tdecl in program.templates:
+            self.templates[tdecl.name] = self._build_template(tdecl)
+        self.layouts: Dict[str, Layout] = {}
+        for adecl in program.arrays:
+            self.layouts[adecl.name] = self._build_layout(adecl)
+
+    # -- template mapping ---------------------------------------------------------
+
+    def _affine_extent(self, expr) -> LinExpr:
+        return to_affine(expr)
+
+    def _build_template(self, decl: TemplateDecl) -> TemplateMapping:
+        dist = self.program.distribute_for(decl.name)
+        if dist is None:
+            # Undistributed template: treat every dim as collapsed onto the
+            # first grid (arrays aligned to it are replicated).
+            grid = next(iter(self.grids.values()))
+            return TemplateMapping(decl, grid, None, [None] * decl.rank, [])
+        grid = self.grids.get(dist.processors)
+        if grid is None:
+            raise SemanticError(
+                f"distribute onto unknown processors {dist.processors!r}"
+            )
+        if len(dist.formats) != decl.rank:
+            raise SemanticError(
+                f"distribute {decl.name}: {len(dist.formats)} formats for "
+                f"rank-{decl.rank} template"
+            )
+        bindings: List[RuntimeBinding] = []
+        ownerships: List[Optional[DimOwnership]] = []
+        grid_dim = 0
+        for tdim, fmt in enumerate(dist.formats):
+            if fmt.kind == "*":
+                ownerships.append(None)
+                continue
+            if grid_dim >= grid.rank:
+                raise SemanticError(
+                    f"distribute {decl.name}: more distributed dims than "
+                    f"grid {grid.name} has"
+                )
+            ownerships.append(
+                self._dim_ownership(decl, tdim, fmt, grid, grid_dim, bindings)
+            )
+            grid_dim += 1
+        if grid_dim not in (0, grid.rank):
+            raise SemanticError(
+                f"distribute {decl.name}: grid {grid.name} has {grid.rank} "
+                f"dims but only {grid_dim} are distributed"
+            )
+        return TemplateMapping(decl, grid, dist, ownerships, bindings)
+
+    def _dim_ownership(
+        self,
+        decl: TemplateDecl,
+        tdim: int,
+        fmt: DistFormat,
+        grid: ProcessorGrid,
+        grid_dim: int,
+        bindings: List[RuntimeBinding],
+    ) -> DimOwnership:
+        tlb = self._affine_extent(decl.extents[tdim][0])
+        tub = self._affine_extent(decl.extents[tdim][1])
+        proc_count = grid.extents[grid_dim]
+        p_symbolic = not isinstance(proc_count, int)
+        extent = tub - tlb + 1
+
+        if fmt.kind == "block":
+            if not p_symbolic and extent.is_constant():
+                block = -((-extent.constant) // proc_count)  # ceil division
+                kind = PHYS_BLOCK
+            else:
+                symbol = f"B_{decl.name}_{tdim}"
+                bindings.append(
+                    RuntimeBinding(
+                        symbol, "ceil_div",
+                        (extent, grid.extent_affine(grid_dim)),
+                    )
+                )
+                block = LinExpr.var(symbol)
+                kind = VP_BLOCK
+            return DimOwnership(
+                grid_dim, tdim, kind, block, proc_count
+                if not p_symbolic else grid.extent_affine(grid_dim),
+                tlb, tub,
+            )
+        if fmt.kind == "cyclic" and fmt.block_size is None:
+            kind = PHYS_CYCLIC if not p_symbolic else VP_CYCLIC
+            return DimOwnership(
+                grid_dim, tdim, kind, None,
+                proc_count if not p_symbolic
+                else grid.extent_affine(grid_dim),
+                tlb, tub,
+            )
+        # cyclic(k)
+        k_expr = to_affine(fmt.block_size)
+        if not k_expr.is_constant():
+            raise SemanticError(
+                f"cyclic(k) with symbolic k is supported only through "
+                f"inspector-style runtime resolution; not implemented"
+            )
+        k = k_expr.constant
+        kind = PHYS_CYCLIC_K if not p_symbolic else VP_CYCLIC_K
+        return DimOwnership(
+            grid_dim, tdim, kind, k,
+            proc_count if not p_symbolic else grid.extent_affine(grid_dim),
+            tlb, tub,
+        )
+
+    # -- layouts ----------------------------------------------------------------------
+
+    def _build_layout(self, decl: ArrayDecl) -> Layout:
+        align = self.program.align_for(decl.name)
+        array_dims = tuple(f"{decl.name}_{d}" for d in range(decl.rank))
+        bound_constraints = []
+        for d, (low, high) in enumerate(decl.extents):
+            a = LinExpr.var(array_dims[d])
+            bound_constraints.append(Constraint.geq(a, to_affine(low)))
+            bound_constraints.append(Constraint.leq(a, to_affine(high)))
+
+        if align is None:
+            # Unaligned array: fully replicated on the first grid.
+            grid = next(iter(self.grids.values()))
+            constraints = list(bound_constraints)
+            for gd in range(grid.rank):
+                constraints.extend(
+                    _grid_dim_domain(grid, gd, None)
+                )
+            owner_map = IntegerMap.from_constraints(
+                grid.dim_names, array_dims, constraints
+            )
+            return Layout(
+                decl.name, grid, owner_map,
+                [None] * grid.rank, tuple(range(grid.rank)),
+            )
+
+        template = self.templates.get(align.template)
+        if template is None:
+            raise SemanticError(
+                f"align {decl.name} with unknown template {align.template!r}"
+            )
+        if len(align.dummies) != decl.rank:
+            raise SemanticError(
+                f"align {decl.name}: {len(align.dummies)} dummies for "
+                f"rank-{decl.rank} array"
+            )
+        if len(align.targets) != template.decl.rank:
+            raise SemanticError(
+                f"align {decl.name}: {len(align.targets)} targets for "
+                f"rank-{template.decl.rank} template"
+            )
+        grid = template.grid
+        dummy_env = dict(zip(align.dummies, array_dims))
+        align_images: Dict[int, LinExpr] = {}
+
+        constraints: List[Constraint] = list(bound_constraints)
+        wildcards: List[str] = []
+        # Each distributed dim contributes a list of alternatives (one for
+        # plain distributions; cyclic(k) expands into its k residues so the
+        # map stays in pure stride form, which negation requires).
+        alternative_sets: List[List[Tuple[List[Constraint], List[str]]]] = []
+        per_grid_dim: List[Optional[DimOwnership]] = [None] * grid.rank
+        replicated: List[int] = []
+        for tdim, target in enumerate(align.targets):
+            ownership = template.ownerships[tdim]
+            if target is None:
+                # '*' in the align: array replicated along this template dim
+                # (hence along its grid dim, if distributed).
+                if ownership is not None:
+                    replicated.append(ownership.grid_dim)
+                    constraints.extend(
+                        _grid_dim_domain(grid, ownership.grid_dim, ownership)
+                    )
+                continue
+            t_expr = to_affine(target).rename(dummy_env)
+            # Template bounds always constrain the alignment image.
+            tlb = self._affine_extent(template.decl.extents[tdim][0])
+            tub = self._affine_extent(template.decl.extents[tdim][1])
+            constraints.append(Constraint.geq(t_expr, tlb))
+            constraints.append(Constraint.leq(t_expr, tub))
+            if ownership is None:
+                continue  # collapsed: no processor constraint
+            alternative_sets.append(
+                _ownership_constraints(grid, ownership, t_expr)
+            )
+            per_grid_dim[ownership.grid_dim] = ownership
+            align_images[ownership.grid_dim] = t_expr
+
+        # Grid dims not constrained at all (array has no data on them):
+        # replicate along them.
+        for gd in range(grid.rank):
+            if per_grid_dim[gd] is None and gd not in replicated:
+                replicated.append(gd)
+                constraints.extend(_grid_dim_domain(grid, gd, None))
+
+        conjuncts = []
+        import itertools as _it
+
+        for combo in _it.product(*alternative_sets) if alternative_sets \
+                else [()]:
+            all_constraints = list(constraints)
+            all_wildcards = list(wildcards)
+            for extra_constraints, extra_wildcards in combo:
+                all_constraints.extend(extra_constraints)
+                all_wildcards.extend(extra_wildcards)
+            conjuncts.append(Conjunct(all_constraints, all_wildcards))
+        owner_map = IntegerMap(
+            Space(grid.dim_names, array_dims), conjuncts
+        )
+        return Layout(
+            decl.name, grid, owner_map, per_grid_dim, tuple(replicated),
+            align_images,
+        )
+
+    # -- conveniences --------------------------------------------------------------
+
+    def layout(self, array: str) -> Layout:
+        if array not in self.layouts:
+            raise SemanticError(f"no layout for array {array!r}")
+        return self.layouts[array]
+
+    def runtime_bindings(self) -> List[RuntimeBinding]:
+        """All startup bindings: grid coords, extents, block sizes, vm."""
+        bindings: List[RuntimeBinding] = []
+        for grid in self.grids.values():
+            bindings.extend(grid.bindings)
+        for template in self.templates.values():
+            bindings.extend(template.bindings)
+        # vm rebindings for VP-block dims: my coordinate becomes B*m + tlb
+        # (paper §4.1: the single active virtual processor of this rank).
+        seen = set()
+        for template in self.templates.values():
+            for ownership in template.ownerships:
+                if ownership is None or ownership.kind != VP_BLOCK:
+                    continue
+                my = template.grid.my_names[ownership.grid_dim]
+                if my in seen:
+                    continue
+                seen.add(my)
+                bindings.append(
+                    RuntimeBinding(
+                        my, "vp_block",
+                        (ownership.block_size, ownership.template_lb),
+                    )
+                )
+        return bindings
+
+
+def _grid_dim_domain(
+    grid: ProcessorGrid, grid_dim: int, ownership: Optional[DimOwnership]
+) -> List[Constraint]:
+    """Domain constraints for a grid dim of a layout map.
+
+    For physical dims this is ``0 <= p < P``.  For VP dims the domain is
+    the VP range (template-valued for cyclic, block index for cyclic(k),
+    template-valued start for block).
+    """
+    p = LinExpr.var(grid.dim_names[grid_dim])
+    if ownership is None or not ownership.is_vp:
+        return [
+            Constraint.geq(p, 0),
+            Constraint.leq(p, grid.extent_affine(grid_dim) - 1),
+        ]
+    if ownership.kind == VP_BLOCK or ownership.kind == VP_CYCLIC:
+        return [
+            Constraint.geq(p, ownership.template_lb),
+            Constraint.leq(p, ownership.template_ub),
+        ]
+    # VP_CYCLIC_K: block index range 1 .. ceil(extent/k)
+    k = ownership.block_size
+    extent = ownership.template_ub - ownership.template_lb + 1
+    return [
+        Constraint.geq(p, 1),
+        Constraint.leq(p.scaled(k), extent + k - 1),
+    ]
+
+
+def _ownership_constraints(
+    grid: ProcessorGrid,
+    ownership: DimOwnership,
+    t_expr: LinExpr,
+) -> List[Tuple[List[Constraint], List[str]]]:
+    """Alternatives of (constraints, wildcards) tying a template-image
+    expression to its grid dim; cyclic(k) yields one alternative per
+    residue so every wildcard stays in stride (equality) form."""
+    p = LinExpr.var(grid.dim_names[ownership.grid_dim])
+    tlb = ownership.template_lb
+    kind = ownership.kind
+    constraints: List[Constraint] = []
+    wildcards: List[str] = []
+    if kind == PHYS_BLOCK:
+        block = ownership.block_size
+        constraints.append(Constraint.geq(t_expr, p.scaled(block) + tlb))
+        constraints.append(
+            Constraint.leq(t_expr, p.scaled(block) + tlb + block - 1)
+        )
+        constraints.append(Constraint.geq(p, 0))
+        constraints.append(
+            Constraint.leq(p, grid.extent_affine(ownership.grid_dim) - 1)
+        )
+    elif kind == PHYS_CYCLIC:
+        count = ownership.proc_count
+        witness = fresh_name("a")
+        # t - tlb - p = P * a
+        constraints.append(
+            Constraint.eq(
+                t_expr - tlb - p, LinExpr.var(witness).scaled(count)
+            )
+        )
+        wildcards.append(witness)
+        constraints.append(Constraint.geq(p, 0))
+        constraints.append(Constraint.leq(p, count - 1))
+    elif kind == PHYS_CYCLIC_K:
+        count = ownership.proc_count
+        k = ownership.block_size
+        alternatives = []
+        for residue in range(k):
+            witness = fresh_name("a")
+            base = (
+                LinExpr.var(witness).scaled(k * count)
+                + p.scaled(k) + tlb + residue
+            )
+            alternatives.append((
+                [
+                    Constraint.eq(t_expr, base),
+                    Constraint.geq(LinExpr.var(witness), 0),
+                    Constraint.geq(p, 0),
+                    Constraint.leq(p, count - 1),
+                ],
+                [witness],
+            ))
+        return alternatives
+    elif kind == VP_BLOCK:
+        block = ownership.block_size  # symbolic LinExpr
+        constraints.append(Constraint.geq(t_expr, p))
+        constraints.append(Constraint.leq(t_expr, p + block - 1))
+        constraints.append(Constraint.geq(p, tlb))
+        constraints.append(Constraint.leq(p, ownership.template_ub))
+    elif kind == VP_CYCLIC:
+        constraints.append(Constraint.eq(t_expr, p))
+        constraints.append(Constraint.geq(p, tlb))
+        constraints.append(Constraint.leq(p, ownership.template_ub))
+    elif kind == VP_CYCLIC_K:
+        k = ownership.block_size
+        alternatives = []
+        for residue in range(k):
+            alternatives.append((
+                [
+                    Constraint.eq(
+                        t_expr, p.scaled(k) - k + tlb + residue
+                    ),
+                    Constraint.geq(p, 1),
+                ],
+                [],
+            ))
+        return alternatives
+    else:
+        raise SemanticError(f"unknown ownership kind {kind!r}")
+    return [(constraints, wildcards)]

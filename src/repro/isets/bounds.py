@@ -1,0 +1,161 @@
+"""Bound extraction from conjuncts (used by enumeration and loop codegen).
+
+``inequality_projection`` relaxes equalities into inequality pairs and runs
+plain (real-shadow) Fourier–Motzkin to eliminate every variable except a
+chosen kept set.  The result over-approximates the true projection, which is
+safe for *bounds*: loop-nest generation re-checks exact membership with the
+innermost constraints/guards, and point enumeration re-checks membership per
+candidate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .constraint import GEQ, Constraint, ceil_div, floor_div
+from .conjunct import Conjunct
+from .linexpr import LinExpr
+
+
+def relax_equalities(constraints: Iterable[Constraint]) -> List[Constraint]:
+    """Replace each equality ``e == 0`` by ``e >= 0`` and ``-e >= 0``."""
+    relaxed: List[Constraint] = []
+    for constraint in constraints:
+        if constraint.is_equality:
+            relaxed.append(Constraint(constraint.expr, GEQ))
+            relaxed.append(Constraint(-constraint.expr, GEQ))
+        else:
+            relaxed.append(constraint)
+    return relaxed
+
+
+def _fme_step(
+    constraints: List[Constraint], var: str
+) -> List[Constraint]:
+    survivors: List[Constraint] = []
+    lowers: List[Tuple[int, LinExpr]] = []
+    uppers: List[Tuple[int, LinExpr]] = []
+    for constraint in constraints:
+        coeff = constraint.coeff(var)
+        if coeff == 0:
+            survivors.append(constraint)
+        elif coeff > 0:
+            lowers.append((coeff, -constraint.expr.substitute(var, 0)))
+        else:
+            uppers.append((-coeff, constraint.expr.substitute(var, 0)))
+    for (b, beta), (a, alpha) in itertools.product(lowers, uppers):
+        shadow = Constraint(alpha.scaled(b) - beta.scaled(a), GEQ)
+        if not shadow.is_tautology():
+            survivors.append(shadow)
+    # Deduplicate to keep the constraint count in check.
+    seen: Set[Constraint] = set()
+    unique = []
+    for constraint in survivors:
+        if constraint not in seen:
+            seen.add(constraint)
+            unique.append(constraint)
+    return unique
+
+
+def inequality_projection(
+    conjunct: Conjunct, keep: Set[str]
+) -> List[Constraint]:
+    """Relaxed FME projection keeping only variables in ``keep``.
+
+    The returned inequalities mention only ``keep`` variables and are implied
+    by the conjunct (an over-approximation of its projection).
+    """
+    constraints = relax_equalities(conjunct.constraints)
+    victims = [v for v in conjunct.variables() if v not in keep]
+    for var in victims:
+        constraints = _fme_step(constraints, var)
+    return constraints
+
+
+class SymbolicBound:
+    """A one-sided bound ``var >= ceil(expr / divisor)`` (or floor for ub)."""
+
+    __slots__ = ("expr", "divisor", "is_lower")
+
+    def __init__(self, expr: LinExpr, divisor: int, is_lower: bool):
+        if divisor <= 0:
+            raise ValueError("divisor must be positive")
+        self.expr = expr
+        self.divisor = divisor
+        self.is_lower = is_lower
+
+    def ground_value(self) -> Optional[int]:
+        if not self.expr.is_constant():
+            return None
+        if self.is_lower:
+            return ceil_div(self.expr.constant, self.divisor)
+        return floor_div(self.expr.constant, self.divisor)
+
+    def evaluate(self, env: Dict[str, int]) -> int:
+        value = self.expr.evaluate(env)
+        if self.is_lower:
+            return ceil_div(value, self.divisor)
+        return floor_div(value, self.divisor)
+
+    def __str__(self) -> str:
+        func = "ceil" if self.is_lower else "floor"
+        if self.divisor == 1:
+            return str(self.expr)
+        return f"{func}(({self.expr})/{self.divisor})"
+
+    def __repr__(self) -> str:
+        side = "lb" if self.is_lower else "ub"
+        return f"SymbolicBound<{side}: {self}>"
+
+
+def extract_bounds(
+    constraints: Iterable[Constraint], var: str
+) -> Tuple[List[SymbolicBound], List[SymbolicBound], List[Constraint]]:
+    """Split constraints into lower bounds on ``var``, upper bounds, rest."""
+    lowers: List[SymbolicBound] = []
+    uppers: List[SymbolicBound] = []
+    rest: List[Constraint] = []
+    for constraint in constraints:
+        coeff = constraint.coeff(var)
+        if coeff == 0:
+            rest.append(constraint)
+            continue
+        other = constraint.expr.substitute(var, 0)
+        if constraint.is_equality:
+            # coeff*var + other == 0: both a lower and an upper bound.
+            if coeff > 0:
+                lowers.append(SymbolicBound(-other, coeff, True))
+                uppers.append(SymbolicBound(-other, coeff, False))
+            else:
+                lowers.append(SymbolicBound(other, -coeff, True))
+                uppers.append(SymbolicBound(other, -coeff, False))
+        elif coeff > 0:  # coeff*var >= -other
+            lowers.append(SymbolicBound(-other, coeff, True))
+        else:  # (-coeff)*var <= other
+            uppers.append(SymbolicBound(other, -coeff, False))
+    return lowers, uppers, rest
+
+
+def ground_range(
+    conjunct: Conjunct, var: str
+) -> Tuple[Optional[int], Optional[int]]:
+    """Concrete [lo, hi] range of ``var`` implied by the conjunct.
+
+    All other variables are FME-eliminated first (relaxed projection), so
+    stride witnesses and symbolic constants must already be substituted for
+    the result to be ground.  Returns ``(None, None)`` when unbounded.
+    """
+    constraints = inequality_projection(conjunct, {var})
+    lowers, uppers, _ = extract_bounds(constraints, var)
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    for bound in lowers:
+        value = bound.ground_value()
+        if value is not None:
+            lo = value if lo is None else max(lo, value)
+    for bound in uppers:
+        value = bound.ground_value()
+        if value is not None:
+            hi = value if hi is None else min(hi, value)
+    return lo, hi

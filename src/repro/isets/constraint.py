@@ -1,0 +1,177 @@
+"""Affine constraints: equalities ``e == 0`` and inequalities ``e >= 0``.
+
+Constraints are normalized on construction:
+
+* the GCD of the coefficients is divided out — for inequalities the constant
+  is *tightened* by floor-division, which is exact over the integers;
+* an equality whose constant is not divisible by the coefficient GCD is
+  marked structurally infeasible (``is_false`` on a ground constraint).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from .linexpr import ExprLike, LinExpr, _as_expr
+
+EQ = "=="
+GEQ = ">="
+
+
+class Constraint:
+    """``expr == 0`` (kind EQ) or ``expr >= 0`` (kind GEQ)."""
+
+    __slots__ = ("expr", "kind", "_hash")
+
+    def __init__(self, expr: LinExpr, kind: str):
+        if kind not in (EQ, GEQ):
+            raise ValueError(f"bad constraint kind {kind!r}")
+        content = expr.content()
+        if content > 1:
+            const = expr.constant
+            coeffs = {n: c // content for n, c in expr.terms()}
+            if kind == GEQ:
+                expr = LinExpr(coeffs, _floor_div(const, content))
+            elif const % content == 0:
+                expr = LinExpr(coeffs, const // content)
+            # else: keep as-is; an equality with indivisible constant is
+            # unsatisfiable and detected by is_false / the equality solver.
+        if kind == EQ and not expr.is_constant():
+            # Canonical sign: first (sorted) variable has positive coefficient.
+            first = expr.variables()[0]
+            if expr.coeff(first) < 0:
+                expr = -expr
+        self.expr = expr
+        self.kind = kind
+        self._hash = hash((expr, kind))
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def eq(lhs: ExprLike, rhs: ExprLike = 0) -> "Constraint":
+        """``lhs == rhs``."""
+        return Constraint(_as_expr(lhs) - _as_expr(rhs), EQ)
+
+    @staticmethod
+    def geq(lhs: ExprLike, rhs: ExprLike = 0) -> "Constraint":
+        """``lhs >= rhs``."""
+        return Constraint(_as_expr(lhs) - _as_expr(rhs), GEQ)
+
+    @staticmethod
+    def leq(lhs: ExprLike, rhs: ExprLike = 0) -> "Constraint":
+        """``lhs <= rhs``."""
+        return Constraint(_as_expr(rhs) - _as_expr(lhs), GEQ)
+
+    @staticmethod
+    def lt(lhs: ExprLike, rhs: ExprLike) -> "Constraint":
+        """``lhs < rhs`` (i.e. ``lhs <= rhs - 1``)."""
+        return Constraint(_as_expr(rhs) - _as_expr(lhs) - 1, GEQ)
+
+    @staticmethod
+    def gt(lhs: ExprLike, rhs: ExprLike) -> "Constraint":
+        """``lhs > rhs``."""
+        return Constraint(_as_expr(lhs) - _as_expr(rhs) - 1, GEQ)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def is_equality(self) -> bool:
+        return self.kind == EQ
+
+    def is_tautology(self) -> bool:
+        """Ground constraint that always holds."""
+        if not self.expr.is_constant():
+            return False
+        if self.kind == EQ:
+            return self.expr.constant == 0
+        return self.expr.constant >= 0
+
+    def is_false(self) -> bool:
+        """Structurally unsatisfiable on its own."""
+        if self.expr.is_constant():
+            if self.kind == EQ:
+                return self.expr.constant != 0
+            return self.expr.constant < 0
+        if self.kind == EQ:
+            content = self.expr.content()
+            return content > 1 and self.expr.constant % content != 0
+        return False
+
+    def coeff(self, name: str) -> int:
+        return self.expr.coeff(name)
+
+    def variables(self):
+        return self.expr.variables()
+
+    # -- transformation ---------------------------------------------------------
+
+    def substitute(self, name: str, replacement: ExprLike) -> "Constraint":
+        return Constraint(self.expr.substitute(name, replacement), self.kind)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.kind)
+
+    def negated(self):
+        """Negate: returns a tuple of constraints whose *union* is ¬self.
+
+        ``¬(e >= 0)`` is ``-e - 1 >= 0``; ``¬(e == 0)`` is
+        ``e >= 1  ∪  -e >= 1``.
+        """
+        if self.kind == GEQ:
+            return (Constraint(-self.expr - 1, GEQ),)
+        return (
+            Constraint(self.expr - 1, GEQ),
+            Constraint(-self.expr - 1, GEQ),
+        )
+
+    def holds(self, env: Mapping[str, int]) -> bool:
+        value = self.expr.evaluate(env)
+        return value == 0 if self.kind == EQ else value >= 0
+
+    # -- equality / printing ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self.kind == other.kind and self.expr == other.expr
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        op = "=" if self.kind == EQ else ">="
+        # Move negative terms to the right-hand side for readability.
+        pos = {}
+        neg = {}
+        for name, coeff in self.expr.terms():
+            (pos if coeff > 0 else neg)[name] = abs(coeff)
+        const = self.expr.constant
+        lhs = LinExpr(pos, const if const > 0 else 0)
+        rhs = LinExpr(neg, -const if const < 0 else 0)
+        return f"{lhs} {op} {rhs}"
+
+    def __repr__(self) -> str:
+        return f"Constraint({self})"
+
+
+def _floor_div(a: int, b: int) -> int:
+    """Floor division for positive divisor (Python's // already floors)."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return a // b
+
+
+def floor_div(a: int, b: int) -> int:
+    """Mathematical floor(a / b) for nonzero b."""
+    q, r = divmod(a, b)
+    return q
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Mathematical ceil(a / b) for nonzero b."""
+    return -((-a) // b)
+
+
+def gcd(a: int, b: int) -> int:
+    return math.gcd(a, b)

@@ -1,0 +1,41 @@
+"""Exceptions raised by the integer-set library.
+
+The error hierarchy mirrors the decidability boundary discussed in Section 4
+of the paper: affine constraints with integer constant coefficients are
+representable; products of symbolic terms are not, and attempting to build
+one raises :class:`NonAffineError` so callers (the HPF layout layer) can fall
+back to the virtual-processor model instead of silently approximating.
+"""
+
+
+class IntegerSetError(Exception):
+    """Base class for all errors raised by :mod:`repro.isets`."""
+
+
+class NonAffineError(IntegerSetError):
+    """A constraint would require a product of two symbolic quantities.
+
+    This is the fundamental limitation of Presburger arithmetic that the
+    paper's virtual-processor extension (Section 4) exists to work around.
+    """
+
+
+class SpaceMismatchError(IntegerSetError):
+    """Two objects with incompatible tuple spaces were combined."""
+
+
+class InexactOperationError(IntegerSetError):
+    """An operation could not be performed exactly.
+
+    Raised (rather than over-approximating) when, e.g., a set difference
+    would require negating an existentially quantified conjunct that is not
+    in stride form.
+    """
+
+
+class CodegenError(IntegerSetError):
+    """Loop code could not be generated from a set."""
+
+
+class ParseError(IntegerSetError):
+    """A set/map expression in Omega-like notation could not be parsed."""

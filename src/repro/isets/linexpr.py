@@ -1,0 +1,239 @@
+"""Linear (affine) integer expressions over named variables.
+
+A :class:`LinExpr` is an immutable mapping ``{var_name: coeff}`` plus an
+integer constant.  Variables are plain strings; the distinction between tuple
+variables, existential (wildcard) variables and symbolic constants is made by
+the enclosing conjunct/set, not by the expression itself.
+
+Coefficients are Python ints, so expressions are exact at any magnitude.
+Attempting to multiply two expressions that both contain variables raises
+:class:`~repro.isets.errors.NonAffineError` — the decidability boundary of
+the whole framework (paper, Section 4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
+
+from .errors import NonAffineError
+
+ExprLike = Union["LinExpr", int, str]
+
+
+def _as_expr(value: ExprLike) -> "LinExpr":
+    """Coerce an int (constant) or str (variable) to a :class:`LinExpr`."""
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("cannot coerce bool to LinExpr")
+    if isinstance(value, int):
+        return LinExpr({}, value)
+    if isinstance(value, str):
+        return LinExpr({value: 1}, 0)
+    raise TypeError(f"cannot coerce {value!r} to LinExpr")
+
+
+class LinExpr:
+    """An affine integer expression ``sum(coeff_i * var_i) + const``."""
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, int] = (), const: int = 0):
+        cleaned: Dict[str, int] = {}
+        items = coeffs.items() if isinstance(coeffs, Mapping) else coeffs
+        for name, coeff in items:
+            if coeff:
+                cleaned[name] = cleaned.get(name, 0) + coeff
+                if cleaned[name] == 0:
+                    del cleaned[name]
+        self._coeffs: Dict[str, int] = cleaned
+        self._const = const
+        self._hash = hash((frozenset(cleaned.items()), const))
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> "LinExpr":
+        """The expression consisting of a single variable."""
+        return LinExpr({name: 1}, 0)
+
+    @staticmethod
+    def const(value: int) -> "LinExpr":
+        """A constant expression."""
+        return LinExpr({}, value)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def constant(self) -> int:
+        return self._const
+
+    def coeff(self, name: str) -> int:
+        """Coefficient of ``name`` (0 if absent)."""
+        return self._coeffs.get(name, 0)
+
+    def variables(self) -> Tuple[str, ...]:
+        """Variable names with nonzero coefficient, sorted."""
+        return tuple(sorted(self._coeffs))
+
+    def terms(self) -> Iterator[Tuple[str, int]]:
+        """Iterate over ``(var, coeff)`` pairs in sorted order."""
+        for name in sorted(self._coeffs):
+            yield name, self._coeffs[name]
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def content(self) -> int:
+        """GCD of the variable coefficients (0 for constant expressions)."""
+        g = 0
+        for coeff in self._coeffs.values():
+            g = math.gcd(g, abs(coeff))
+        return g
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        other = _as_expr(other)
+        coeffs = dict(self._coeffs)
+        for name, coeff in other._coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) + coeff
+        return LinExpr(coeffs, self._const + other._const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({n: -c for n, c in self._coeffs.items()}, -self._const)
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self + (-_as_expr(other))
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return _as_expr(other) + (-self)
+
+    def __mul__(self, other: ExprLike) -> "LinExpr":
+        other = _as_expr(other)
+        if not other.is_constant() and not self.is_constant():
+            raise NonAffineError(
+                f"product of two non-constant expressions: "
+                f"({self}) * ({other})"
+            )
+        if other.is_constant():
+            factor = other._const
+            return LinExpr(
+                {n: c * factor for n, c in self._coeffs.items()},
+                self._const * factor,
+            )
+        return other * self
+
+    __rmul__ = __mul__
+
+    def scaled(self, factor: int) -> "LinExpr":
+        """Multiply every coefficient and the constant by ``factor``."""
+        return LinExpr(
+            {n: c * factor for n, c in self._coeffs.items()},
+            self._const * factor,
+        )
+
+    def exact_div(self, divisor: int) -> "LinExpr":
+        """Divide by ``divisor``; every coefficient must be divisible."""
+        if divisor == 0:
+            raise ZeroDivisionError("exact_div by zero")
+        coeffs = {}
+        for name, coeff in self._coeffs.items():
+            if coeff % divisor:
+                raise ValueError(f"{self} not divisible by {divisor}")
+            coeffs[name] = coeff // divisor
+        if self._const % divisor:
+            raise ValueError(f"{self} not divisible by {divisor}")
+        return LinExpr(coeffs, self._const // divisor)
+
+    # -- substitution & renaming -------------------------------------------
+
+    def substitute(self, name: str, replacement: ExprLike) -> "LinExpr":
+        """Replace ``name`` by ``replacement`` (an affine expression)."""
+        coeff = self._coeffs.get(name, 0)
+        if coeff == 0:
+            return self
+        rest = LinExpr(
+            {n: c for n, c in self._coeffs.items() if n != name}, self._const
+        )
+        return rest + _as_expr(replacement).scaled(coeff)
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        """Rename variables according to ``mapping`` (missing names kept)."""
+        coeffs: Dict[str, int] = {}
+        for name, coeff in self._coeffs.items():
+            new = mapping.get(name, name)
+            coeffs[new] = coeffs.get(new, 0) + coeff
+        return LinExpr(coeffs, self._const)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a full assignment of the variables."""
+        total = self._const
+        for name, coeff in self._coeffs.items():
+            total += coeff * env[name]
+        return total
+
+    def partial_evaluate(self, env: Mapping[str, int]) -> "LinExpr":
+        """Substitute the variables present in ``env``; others remain."""
+        const = self._const
+        coeffs: Dict[str, int] = {}
+        for name, coeff in self._coeffs.items():
+            if name in env:
+                const += coeff * env[name]
+            else:
+                coeffs[name] = coeff
+        return LinExpr(coeffs, const)
+
+    # -- comparison / hashing -----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self._coeffs == other._coeffs and self._const == other._const
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._coeffs) or self._const != 0
+
+    # -- printing -------------------------------------------------------------
+
+    def __str__(self) -> str:
+        parts = []
+        for name, coeff in self.terms():
+            if coeff == 1:
+                term = name
+            elif coeff == -1:
+                term = f"-{name}"
+            else:
+                term = f"{coeff}{name}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self._const or not parts:
+            if parts:
+                sign = "+" if self._const >= 0 else "-"
+                parts.append(f"{sign} {abs(self._const)}")
+            else:
+                parts.append(str(self._const))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self})"
+
+
+def lin_sum(exprs: Iterable[ExprLike]) -> LinExpr:
+    """Sum an iterable of expression-likes."""
+    total = LinExpr.const(0)
+    for expr in exprs:
+        total = total + expr
+    return total

@@ -1,0 +1,314 @@
+"""Loop-nest generation from integer sets (scanning polyhedra).
+
+Given a set over ordered dims ``[i1, .., in]``, :func:`generate_loops`
+produces a loop AST that enumerates its points in lexicographic order:
+
+* per-level bounds are computed by relaxed Fourier–Motzkin projection; any
+  looseness introduced by the relaxation only produces zero-trip inner
+  loops, never wrong points, because every original constraint is enforced
+  as a bound at the level of its deepest dimension (integer ceil/floor
+  division in :class:`~repro.isets.bounds.SymbolicBound` covers
+  divisibility from non-unit equality coefficients);
+* stride constraints ``exists(a : i = k*a + base)`` become loop steps with
+  aligned lower bounds;
+* constraints mentioning no dims at all (parameter preconditions) become a
+  guard around the nest.
+
+This is the code-generation service the paper obtains from the Omega
+library's ``Codegen`` (Appendix A/B); the multiple-mappings variant lives in
+:mod:`repro.isets.mmcodegen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .bounds import (
+    SymbolicBound,
+    extract_bounds,
+    relax_equalities,
+    _fme_step,
+)
+from .constraint import Constraint
+from .conjunct import Conjunct
+from .errors import CodegenError
+from .linexpr import LinExpr
+from .omega import solve_equalities
+from .ops import IntegerSet, _pivot_wildcard, split_disjoint
+
+
+# ---------------------------------------------------------------------------
+# Loop AST
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LoopNode:
+    """``for var = max(lowers) .. min(uppers) step`` (aligned when strided).
+
+    When ``stride > 1``, iteration starts at the smallest value that is
+    ``>= max(lowers)`` and congruent to ``align_base`` modulo ``stride``.
+    """
+
+    var: str
+    lowers: List[SymbolicBound]
+    uppers: List[SymbolicBound]
+    stride: int = 1
+    align_base: Optional[LinExpr] = None
+    body: List[Any] = field(default_factory=list)
+
+
+@dataclass
+class GuardNode:
+    """``if all(constraints) and all(expr ≡ 0 mod m) : body``.
+
+    ``mods`` carries divisibility tests arising from stride equalities
+    beyond the first on a dimension (``exists w: k*w = expr``).
+    ``alternatives``, when nonempty, additionally requires membership in
+    *some* listed conjunct (a disjunctive guard; conjuncts may carry
+    wildcards and are evaluated exactly).
+    """
+
+    constraints: List[Constraint]
+    body: List[Any] = field(default_factory=list)
+    mods: List[Tuple[LinExpr, int]] = field(default_factory=list)
+    alternatives: List[Conjunct] = field(default_factory=list)
+
+
+@dataclass
+class StmtNode:
+    """A leaf carrying an opaque payload supplied by the caller."""
+
+    payload: Any
+
+
+@dataclass
+class SeqNode:
+    """Sequential composition of loop fragments."""
+
+    children: List[Any] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Stride detection
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _StrideInfo:
+    dim: str
+    modulus: int
+    base: LinExpr  # expression over outer dims / parameters
+
+
+def _detect_strides(
+    conjunct: Conjunct, dims: Sequence[str]
+) -> Tuple[List[Constraint], Dict[str, _StrideInfo], List[Tuple[LinExpr, int, int]]]:
+    """Split off stride equalities.
+
+    Returns ``(remaining_constraints, strides, mod_guards)``:
+
+    * the *first* stride equality per dimension becomes a loop step
+      (modulus = gcd of its wildcard coefficients, which is exact by
+      Bezout since the wildcards occur nowhere else after pivoting);
+    * further stride equalities on the same dim, and parameter-only
+      divisibility constraints, become runtime modulus guards
+      ``(expr, modulus, level)``, placed just inside loop ``level``.
+    """
+    import math as _math
+
+    prepared = conjunct
+    for wildcard in conjunct.wildcards:
+        prepared = _pivot_wildcard(prepared, wildcard)
+    depth = {d: k for k, d in enumerate(dims)}
+    strides: Dict[str, _StrideInfo] = {}
+    remaining: List[Constraint] = []
+    mod_guards: List[Tuple[LinExpr, int, int]] = []
+    for constraint in prepared.constraints:
+        wilds = [w for w in prepared.wildcards if constraint.coeff(w)]
+        if not wilds:
+            remaining.append(constraint)
+            continue
+        if not constraint.is_equality:
+            raise CodegenError(
+                f"cannot scan wildcard constraint: {constraint}"
+            )
+        modulus = 0
+        core = constraint.expr
+        for w in wilds:
+            modulus = _math.gcd(modulus, abs(constraint.coeff(w)))
+            core = core.substitute(w, 0)
+        in_dims = [v for v in core.variables() if v in depth]
+        if not in_dims:
+            # Parameter-only divisibility, e.g. exists(a : N = 2a).
+            mod_guards.append((core, modulus, 0))
+            continue
+        innermost = max(in_dims, key=lambda v: depth[v])
+        coeff = core.coeff(innermost)
+        if abs(coeff) != 1 or innermost in strides:
+            # Second stride on this dim (or a non-unit coefficient): keep
+            # it as an exact runtime divisibility guard at the dim's level.
+            mod_guards.append((core, modulus, depth[innermost] + 1))
+            continue
+        # core = c*innermost + R, c = ±1 → innermost ≡ -R/c (mod modulus)
+        rest = core.substitute(innermost, 0)
+        base = rest.scaled(-1) if coeff == 1 else rest
+        strides[innermost] = _StrideInfo(innermost, modulus, base)
+    return remaining, strides, mod_guards
+
+
+# ---------------------------------------------------------------------------
+# Nest construction
+# ---------------------------------------------------------------------------
+
+def _nest_for_conjunct(
+    conjunct: Conjunct,
+    dims: Sequence[str],
+    body: List[Any],
+    level_guards: Optional[Dict[int, List[Constraint]]] = None,
+) -> List[Any]:
+    """Build the loop spine for one conjunct around ``body``.
+
+    ``level_guards[k]`` (0..len(dims)) are extra guard constraints placed
+    just inside loop ``k`` (0 = outside all loops); callers use this for
+    guard lifting.
+    """
+    protected = set(conjunct.free_variables())
+    solved = solve_equalities(conjunct, protected)
+    if solved is None:
+        return []
+    constraints, strides, mod_guards = _detect_strides(solved, dims)
+    level_guards = level_guards or {}
+    mods_by_level: Dict[int, List[Tuple[LinExpr, int]]] = {}
+    for expr, modulus, level in mod_guards:
+        mods_by_level.setdefault(level, []).append((expr, modulus))
+
+    # Per-level constraint systems: level[k] mentions dims[0..k-1] only.
+    levels: List[List[Constraint]] = [None] * (len(dims) + 1)
+    system = relax_equalities(constraints)
+    levels[len(dims)] = system
+    for index in range(len(dims) - 1, -1, -1):
+        system = _fme_step(system, dims[index])
+        levels[index] = system
+
+    current = body
+    for index in range(len(dims) - 1, -1, -1):
+        guards = [
+            c for c in level_guards.get(index + 1, []) if not c.is_tautology()
+        ]
+        mods = mods_by_level.get(index + 1, [])
+        if guards or mods:
+            current = [
+                GuardNode(_dedup_constraints(guards), current, mods)
+            ]
+        var = dims[index]
+        lowers, uppers, _rest = extract_bounds(levels[index + 1], var)
+        if not lowers or not uppers:
+            raise CodegenError(
+                f"dimension {var} of the scanned set is unbounded"
+            )
+        stride = strides.get(var)
+        node = LoopNode(
+            var=var,
+            lowers=_dedup_bounds(lowers),
+            uppers=_dedup_bounds(uppers),
+            stride=stride.modulus if stride else 1,
+            align_base=stride.base if stride else None,
+            body=current,
+        )
+        current = [node]
+    # Parameter-only guards (levels[0]) wrap the whole nest.
+    outer_guards = [c for c in levels[0] if not c.is_tautology()]
+    outer_guards += [
+        c for c in level_guards.get(0, []) if not c.is_tautology()
+    ]
+    outer_mods = mods_by_level.get(0, [])
+    if outer_guards or outer_mods:
+        current = [
+            GuardNode(_dedup_constraints(outer_guards), current, outer_mods)
+        ]
+    return current
+
+
+def _dedup_bounds(bounds: List[SymbolicBound]) -> List[SymbolicBound]:
+    seen = set()
+    unique: List[SymbolicBound] = []
+    for bound in bounds:
+        key = (bound.expr, bound.divisor, bound.is_lower)
+        if key not in seen:
+            seen.add(key)
+            unique.append(bound)
+    return unique
+
+
+def _dedup_constraints(constraints: List[Constraint]) -> List[Constraint]:
+    seen = set()
+    unique: List[Constraint] = []
+    for constraint in constraints:
+        if constraint not in seen:
+            seen.add(constraint)
+            unique.append(constraint)
+    return unique
+
+
+def run_loops(nodes: List[Any], env: Dict[str, int], on_stmt) -> None:
+    """Execute a loop AST, calling ``on_stmt(payload, env)`` per statement.
+
+    ``env`` must bind all symbolic constants; loop variables are bound as
+    the nest executes.  This evaluator defines the AST's semantics and is
+    used by tests to validate generated nests against point enumeration
+    (the Python source emitter must agree with it).
+    """
+    for node in nodes:
+        _run_node(node, env, on_stmt)
+
+
+def _run_node(node: Any, env: Dict[str, int], on_stmt) -> None:
+    if isinstance(node, StmtNode):
+        on_stmt(node.payload, env)
+    elif isinstance(node, SeqNode):
+        run_loops(node.children, env, on_stmt)
+    elif isinstance(node, GuardNode):
+        passes = all(c.holds(env) for c in node.constraints) and all(
+            expr.evaluate(env) % modulus == 0
+            for expr, modulus in node.mods
+        )
+        if passes and node.alternatives:
+            passes = any(alt.holds(env) for alt in node.alternatives)
+        if passes:
+            run_loops(node.body, env, on_stmt)
+    elif isinstance(node, LoopNode):
+        lower = max(b.evaluate(env) for b in node.lowers)
+        upper = min(b.evaluate(env) for b in node.uppers)
+        if node.stride > 1:
+            base = node.align_base.evaluate(env)
+            lower = lower + (base - lower) % node.stride
+        for value in range(lower, upper + 1, node.stride):
+            env[node.var] = value
+            run_loops(node.body, env, on_stmt)
+        env.pop(node.var, None)
+    else:
+        raise CodegenError(f"unknown loop AST node {node!r}")
+
+
+def generate_loops(
+    subset: IntegerSet,
+    payload: Any,
+    disjoint: bool = False,
+) -> List[Any]:
+    """Loop AST enumerating ``subset`` with ``StmtNode(payload)`` innermost.
+
+    Set unions are made disjoint first (unless ``disjoint=True`` promises
+    they already are) and yield one nest per piece, in order.
+    """
+    dims = subset.space.in_dims
+    fragments: List[Any] = []
+    if disjoint:
+        pieces = [IntegerSet(subset.space, [c]) for c in subset.conjuncts]
+    else:
+        pieces = split_disjoint(subset.simplify())
+    for piece in pieces:
+        for conjunct in piece.conjuncts:
+            fragments.extend(
+                _nest_for_conjunct(conjunct, dims, [StmtNode(payload)])
+            )
+    return fragments

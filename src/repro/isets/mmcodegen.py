@@ -1,0 +1,193 @@
+"""Multiple-mappings code generation (paper Appendix B, Section 5).
+
+``codegen([(S1, stmt1), (S2, stmt2), ...], known=K)`` synthesizes a loop AST
+that enumerates the tuples of the union ``S1 ∪ S2 ∪ ...`` in lexicographic
+order, executing ``stmt_j`` at every tuple of ``S_j``; the same tuple in
+several sets runs the statements in list order, which is the ordering the
+KPR algorithm guarantees for statement groups.
+
+Our implementation follows dHPF's usage pattern (statement groups within a
+common scope):
+
+1. compute the *disjoint disjunctive form* of the union;
+2. generate one loop nest per disjoint piece;
+3. inside each piece, guard each statement with the ``gist`` of its own
+   iteration set relative to the piece (often empty, i.e. no guard);
+4. factor constraints implied by ``known`` out of everything (the paper's
+   trick of passing the enclosing scope's iteration set as ``Known`` to
+   avoid re-checking guards at multiple levels);
+5. ``lift_guards`` controls how many loop levels a guard may be hoisted
+   out of (paper §5 "Limiting code replication": dHPF lifts guards one
+   level for perfect nests but not out of loops containing communication).
+
+Guards are attached at the deepest loop level they depend on, clamped by
+``lift_guards``; this avoids the statement-duplication form of KPR lifting
+(dHPF likewise disallows replication at procedure scope).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .conjunct import Conjunct
+from .constraint import Constraint
+from .errors import CodegenError
+from .loopgen import (
+    GuardNode,
+    LoopNode,
+    SeqNode,
+    StmtNode,
+    _nest_for_conjunct,
+)
+from .omega import gist_conjunct, is_empty_conjunct, normalize
+from .ops import IntegerSet, split_disjoint
+
+
+def _guard_depth(
+    constraint: Constraint, dims: Sequence[str]
+) -> int:
+    """Index of the deepest dim the constraint mentions (-1 if none)."""
+    depth = -1
+    for index, dim in enumerate(dims):
+        if constraint.coeff(dim):
+            depth = index
+    return depth
+
+
+def codegen(
+    mappings: Sequence[Tuple[IntegerSet, Any]],
+    known: Optional[IntegerSet] = None,
+    lift_guards: int = 1,
+) -> List[Any]:
+    """Generate a loop AST interleaving several statements (see module doc).
+
+    ``known`` holds constraints guaranteed by the enclosing scope; they are
+    stripped from all generated bounds and guards.  ``lift_guards`` limits
+    how far out of the innermost level a guard may be placed (0 keeps all
+    guards innermost).
+    """
+    if not mappings:
+        return []
+    dims = mappings[0][0].space.in_dims
+    for subset, _ in mappings:
+        if subset.space.in_dims != dims:
+            raise CodegenError(
+                "all iteration sets must share one tuple space"
+            )
+    known_conjunct = _known_conjunct(known, dims)
+
+    # ``known`` prunes *guards* (statement residuals) only; loop bounds are
+    # always generated so a fragment is self-contained.
+    union = mappings[0][0]
+    for subset, _ in mappings[1:]:
+        union = union.union(subset)
+    union = union.simplify()
+
+    fragments: List[Any] = []
+    for piece in split_disjoint(union):
+        piece_conjunct = piece.conjuncts[0]
+        residuals: List[Tuple[Any, object]] = []
+        for subset, payload in mappings:
+            residual = _stmt_guard(subset, piece_conjunct, known_conjunct)
+            if residual is not None:
+                residuals.append((payload, residual))
+        if not residuals:
+            continue
+
+        # Guard constraints shared by every statement can be hoisted to
+        # their natural depth (clamped by lift_guards) without duplicating
+        # statements; the rest stay innermost around their statement.
+        simple = [
+            r for _, r in residuals
+            if isinstance(r, Conjunct) and not r.wildcards
+        ]
+        common: List[Constraint] = []
+        if len(simple) == len(residuals) and simple:
+            candidate = list(simple[0].constraints)
+            for residual in simple[1:]:
+                present = set(residual.constraints)
+                candidate = [c for c in candidate if c in present]
+            common = candidate
+        depth = len(dims)
+        level_guards: Dict[int, List[Constraint]] = {}
+        for constraint in common:
+            natural = _guard_depth(constraint, dims) + 1
+            level = max(natural, depth - lift_guards)
+            level_guards.setdefault(level, []).append(constraint)
+
+        body: List[Any] = []
+        common_set = set(common)
+        for payload, residual in residuals:
+            if isinstance(residual, list):
+                # Disjunctive within the piece: exact membership in any of
+                # the statement's live conjuncts.
+                body.append(
+                    GuardNode([], [StmtNode(payload)],
+                              alternatives=residual)
+                )
+                continue
+            if residual.wildcards:
+                body.append(
+                    GuardNode([], [StmtNode(payload)],
+                              alternatives=[residual])
+                )
+                continue
+            own = [c for c in residual.constraints if c not in common_set]
+            if own:
+                body.append(GuardNode(own, [StmtNode(payload)]))
+            else:
+                body.append(StmtNode(payload))
+        fragments.extend(
+            _nest_for_conjunct(piece_conjunct, dims, body, level_guards)
+        )
+    return fragments
+
+
+def _known_conjunct(
+    known: Optional[IntegerSet], dims: Sequence[str]
+) -> Conjunct:
+    if known is None:
+        return Conjunct()
+    if len(known.conjuncts) > 1:
+        raise CodegenError("known context must be a single conjunct")
+    if not known.conjuncts:
+        return Conjunct()
+    renaming = dict(zip(known.space.in_dims, dims))
+    return known.conjuncts[0].rename_wildcards_apart().rename(renaming)
+
+
+def _stmt_guard(
+    subset: IntegerSet,
+    piece: Conjunct,
+    known: Conjunct,
+) -> Optional[Conjunct]:
+    """Residual constraints under which the statement runs in this piece.
+
+    Returns ``None`` when the statement's set does not meet the piece.
+    The candidates are the statement's conjuncts intersected with the
+    piece; the guard is the gist of the statement set relative to
+    ``piece ∧ known``.  A union statement set inside one piece would need
+    disjunctive guards; dHPF splits such statements into separate pieces,
+    and so do we (the piece decomposition refines on every statement's
+    conjuncts because the union was built from them).
+    """
+    context = piece.conjoin(known)
+    live = [
+        conjunct
+        for conjunct in subset.conjuncts
+        if not is_empty_conjunct(context.conjoin(conjunct))
+    ]
+    if not live:
+        return None
+    if len(live) == 1:
+        return gist_conjunct(live[0], context)
+    # Multiple live conjuncts within one disjoint piece: if one of them
+    # covers the whole piece, no guard is needed; otherwise the guard is
+    # disjunctive (membership in any live conjunct, evaluated exactly).
+    residuals = [gist_conjunct(c, context) for c in live]
+    if any(
+        r is not None and not r.constraints and not r.wildcards
+        for r in residuals
+    ):
+        return Conjunct()
+    return [c.rename_wildcards_apart() for c in live]

@@ -1,0 +1,504 @@
+"""Core Omega-test algorithms: equality solving, exact projection, emptiness.
+
+This module implements, over :class:`~repro.isets.conjunct.Conjunct`:
+
+* **Equality elimination** in the style of Pugh's Omega test — unit-coefficient
+  substitution plus the symmetric-modulus substitution that shrinks
+  coefficients until a wildcard can be substituted away exactly.
+* **Fourier–Motzkin elimination with integer exactness**: the real shadow is
+  used when exact (one of each bound pair has a unit coefficient); otherwise
+  the result is the *dark shadow* unioned with the standard *splinter*
+  equalities, which is Pugh's exact integer projection.
+* **Emptiness testing** by exact elimination of all variables.
+
+These are the algorithms the paper relies on via the Omega library
+(references [17] and [25] in the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .constraint import EQ, GEQ, Constraint, ceil_div, floor_div
+from .conjunct import Conjunct
+from .errors import InexactOperationError
+from .linexpr import LinExpr
+from .space import fresh_name
+
+# Safety valve: exact projection of pathological conjuncts can splinter; the
+# paper reports such cases do not arise in practice for compiler-generated
+# sets, and we keep a generous cap so a genuine pathology fails loudly.
+MAX_SPLINTERS = 512
+_MAX_EQ_ITERATIONS = 200
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+def normalize(conjunct: Conjunct) -> Optional[Conjunct]:
+    """Drop tautologies and duplicates; detect structural falsity.
+
+    Also pairs ``e >= 0`` with ``-e >= 0`` into the equality ``e == 0``, and
+    detects single-variable contradictions (``x >= a`` with ``x <= a - 1``).
+    Returns ``None`` when the conjunct is unsatisfiable on structural
+    grounds.
+    """
+    seen: Set[Constraint] = set()
+    geqs: Dict[LinExpr, Constraint] = {}
+    result: List[Constraint] = []
+    for constraint in conjunct.constraints:
+        if constraint.is_false():
+            return None
+        if constraint.is_tautology() or constraint in seen:
+            continue
+        seen.add(constraint)
+        result.append(constraint)
+        if constraint.kind == GEQ:
+            geqs[constraint.expr] = constraint
+
+    # Pair e >= 0 with -e - k >= 0 (k >= 0): implies -k >= e >= 0.
+    upgraded: List[Constraint] = []
+    consumed: Set[Constraint] = set()
+    for constraint in result:
+        if constraint.kind != GEQ or constraint in consumed:
+            continue
+        # Look for a constraint -e + c >= 0 with the same variable part.
+        negated_vars = LinExpr(
+            {n: -c for n, c in constraint.expr.terms()}, 0
+        )
+        for other in result:
+            if other.kind != GEQ or other is constraint or other in consumed:
+                continue
+            if LinExpr(dict(other.expr.terms()), 0) == negated_vars:
+                # constraint: v + c1 >= 0; other: -v + c2 >= 0
+                # -c1 <= v <= c2  (v is the variable part)
+                c1 = constraint.expr.constant
+                c2 = other.expr.constant
+                if -c1 > c2:
+                    return None
+                if -c1 == c2:
+                    consumed.add(constraint)
+                    consumed.add(other)
+                    upgraded.append(Constraint(constraint.expr, EQ))
+                break
+
+    final = [c for c in result if c not in consumed] + upgraded
+    # Deduplicate again (upgrades can collide with existing equalities).
+    deduped: List[Constraint] = []
+    seen = set()
+    for constraint in final:
+        if constraint.is_false():
+            return None
+        if constraint.is_tautology() or constraint in seen:
+            continue
+        seen.add(constraint)
+        deduped.append(constraint)
+    used_wildcards = tuple(
+        w
+        for w in conjunct.wildcards
+        if any(c.coeff(w) for c in deduped)
+    )
+    return Conjunct(deduped, used_wildcards)
+
+
+# ---------------------------------------------------------------------------
+# Equality elimination
+# ---------------------------------------------------------------------------
+
+def _symmetric_mod(a: int, m: int) -> int:
+    """Pugh's mod-hat: residue of ``a`` modulo ``m`` in ``(-m/2, m/2]``."""
+    r = a % m
+    if r > m // 2:
+        r -= m
+    return r
+
+
+def _resolving_vars(conjunct: Conjunct, equality: Constraint) -> List[str]:
+    """Unit-coefficient variables of ``equality`` occurring in no other
+    constraint — the equality merely *defines* such a variable."""
+    found = []
+    for var in equality.variables():
+        if abs(equality.coeff(var)) != 1:
+            continue
+        elsewhere = any(
+            c is not equality and c.coeff(var)
+            for c in conjunct.constraints
+        )
+        if not elsewhere:
+            found.append(var)
+    return found
+
+
+def solve_equalities(
+    conjunct: Conjunct, protected: Set[str]
+) -> Optional[Conjunct]:
+    """Reduce the equality system exactly (Omega-test equality phase).
+
+    * A unit-coefficient **wildcard** is substituted away entirely.
+    * A unit-coefficient **protected** variable occurring in other
+      constraints is substituted into those constraints; its defining
+      equality is kept (in solved form).
+    * Otherwise Pugh's symmetric-modulus substitution shrinks coefficients
+      until one of the above applies.
+
+    Returns ``None`` if an infeasibility is detected.
+    """
+    current = normalize(conjunct)
+    for _ in range(_MAX_EQ_ITERATIONS):
+        if current is None:
+            return None
+        action = _pick_equality_action(current, protected)
+        if action is None:
+            return current
+        kind, equality, var = action
+        if kind == "drop":
+            # exists(var): var = expr ∧ rest  ≡  rest  when var ∉ rest.
+            remaining = tuple(
+                c for c in current.constraints if c is not equality
+            )
+            current = normalize(
+                Conjunct(remaining, current.wildcards).drop_wildcard(var)
+            )
+        elif kind == "substitute":
+            coeff = equality.coeff(var)
+            rest = equality.expr.substitute(var, 0)
+            replacement = rest.scaled(-1) if coeff == 1 else rest
+            current = normalize(current.substitute(var, replacement))
+        elif kind == "define":
+            coeff = equality.coeff(var)
+            rest = equality.expr.substitute(var, 0)
+            replacement = rest.scaled(-1) if coeff == 1 else rest
+            others = tuple(
+                c.substitute(var, replacement) if c is not equality else c
+                for c in current.constraints
+            )
+            current = normalize(Conjunct(others, current.wildcards))
+        else:
+            current = _mod_reduce(current, equality, var)
+            current = normalize(current) if current is not None else None
+    raise InexactOperationError(
+        "equality elimination did not terminate within the iteration cap"
+    )
+
+
+def _pick_equality_action(
+    conjunct: Conjunct, protected: Set[str]
+) -> Optional[Tuple[str, Constraint, str]]:
+    """Choose the next equality-processing step, or None at fixpoint."""
+    mod_candidate: Optional[Tuple[str, Constraint, str]] = None
+    mod_coeff = None
+    define_candidate: Optional[Tuple[str, Constraint, str]] = None
+    for equality in conjunct.equalities():
+        # An unprotected unit variable substitutes away outright — strictly
+        # reduces the variable count, so it is always safe progress, even
+        # when the equality is also in resolved (definition) form.
+        for var in equality.variables():
+            if var not in protected and abs(equality.coeff(var)) == 1:
+                return ("substitute", equality, var)
+        resolving = _resolving_vars(conjunct, equality)
+        if resolving:
+            droppable = [v for v in resolving if v not in protected]
+            if droppable:
+                return ("drop", equality, droppable[0])
+            continue
+        for var in equality.variables():
+            coeff = abs(equality.coeff(var))
+            if var not in protected:
+                if mod_coeff is None or coeff < mod_coeff:
+                    mod_candidate = ("modreduce", equality, var)
+                    mod_coeff = coeff
+            elif coeff == 1 and define_candidate is None:
+                define_candidate = ("define", equality, var)
+    if define_candidate is not None:
+        return define_candidate
+    return mod_candidate
+
+
+def _mod_reduce(
+    conjunct: Conjunct, equality: Constraint, var: str
+) -> Optional[Conjunct]:
+    """Pugh's symmetric-modulus substitution shrinking coefficients.
+
+    Rewrites ``var`` in terms of a fresh wildcard ``sigma`` such that the
+    system is equisatisfiable and the coefficient magnitudes in the equality
+    strictly decrease, guaranteeing termination of ``solve_equalities``.
+    """
+    a_k = equality.coeff(var)
+    expr = equality.expr if a_k > 0 else -equality.expr
+    a_k = abs(a_k)
+    m = a_k + 1
+    sigma = fresh_name("s")
+    # var = sum(mod-hat coeffs) x_i + mod-hat const - m*sigma  (i != var),
+    # derived from the equality taken modulo m (mod-hat(a_k, m) == -1).
+    replacement = LinExpr({sigma: -m}, _symmetric_mod(expr.constant, m))
+    for name, coeff in expr.terms():
+        if name == var:
+            continue
+        replacement = replacement + LinExpr(
+            {name: _symmetric_mod(coeff, m)}, 0
+        )
+    updated = conjunct.substitute(var, replacement)
+    return updated.with_wildcards([sigma])
+
+
+# ---------------------------------------------------------------------------
+# Fourier–Motzkin with integer exactness
+# ---------------------------------------------------------------------------
+
+def eliminate_variable(
+    conjunct: Conjunct,
+    var: str,
+    approximate: bool = False,
+) -> List[Conjunct]:
+    """Exactly project ``var`` out of ``conjunct`` (a union may result).
+
+    ``var`` is treated as existential.  When ``approximate`` is true the real
+    shadow is returned even when inexact (an over-approximation), which some
+    callers (bound computation for code generation, where guards re-check
+    membership) can tolerate.
+    """
+    prepared = solve_equalities(
+        conjunct,
+        protected=set(conjunct.variables()) - {var} - set(conjunct.wildcards),
+    )
+    if prepared is None:
+        return []
+    if not prepared.uses(var):
+        return [prepared.drop_wildcard(var)]
+    # ``var`` may still sit in an equality (with |coeff| > 1); try to force
+    # elimination treating var as the only unprotected variable.
+    if any(eq.coeff(var) for eq in prepared.equalities()):
+        prepared = solve_equalities(
+            prepared, protected=set(prepared.variables()) - {var}
+        )
+        if prepared is None:
+            return []
+        if not prepared.uses(var):
+            return [prepared.drop_wildcard(var)]
+        if any(eq.coeff(var) for eq in prepared.equalities()):
+            # Resolved stride form (e.g. ``i = 2*var + 1``): var cannot be
+            # eliminated from the representation; keeping it existential is
+            # semantically the projection.
+            if var in prepared.wildcards:
+                return [prepared]
+            return [prepared.with_wildcards([var])]
+
+    survivors: List[Constraint] = []
+    lowers: List[Tuple[int, LinExpr]] = []  # b*var >= beta
+    uppers: List[Tuple[int, LinExpr]] = []  # a*var <= alpha
+    for constraint in prepared.constraints:
+        coeff = constraint.coeff(var)
+        if coeff == 0:
+            survivors.append(constraint)
+            continue
+        assert not constraint.is_equality, "equalities handled above"
+        rest = constraint.expr.substitute(var, 0)
+        if coeff > 0:
+            lowers.append((coeff, -rest))
+        else:
+            uppers.append((-coeff, rest))
+
+    remaining_wildcards = tuple(
+        w for w in prepared.wildcards if w != var
+    )
+    if not lowers or not uppers:
+        result = normalize(Conjunct(survivors, remaining_wildcards))
+        return [result] if result is not None else []
+
+    exact = all(b == 1 or a == 1 for b, _ in lowers for a, _ in uppers)
+    shadows: List[Constraint] = []
+    dark_shadows: List[Constraint] = []
+    for (b, beta), (a, alpha) in itertools.product(lowers, uppers):
+        real = alpha.scaled(b) - beta.scaled(a)
+        shadows.append(Constraint(real, GEQ))
+        dark_shadows.append(Constraint(real - (a - 1) * (b - 1), GEQ))
+
+    if exact or approximate:
+        result = normalize(Conjunct(survivors + shadows, remaining_wildcards))
+        return [result] if result is not None else []
+
+    results: List[Conjunct] = []
+    dark = normalize(
+        Conjunct(survivors + dark_shadows, remaining_wildcards)
+    )
+    if dark is not None:
+        results.append(dark)
+    # Splinters: if an integer point lies in the real but not the dark
+    # shadow, then for some lower bound b*var >= beta we have
+    # b*var <= beta + (a_max*b - a_max - b) / a_max  (Pugh 1992).
+    a_max = max(a for a, _ in uppers)
+    total = 0
+    for b, beta in lowers:
+        top = (a_max * b - a_max - b) // a_max
+        for i in range(top + 1):
+            total += 1
+            if total > MAX_SPLINTERS:
+                raise InexactOperationError(
+                    f"projection of {var} exceeded {MAX_SPLINTERS} splinters"
+                )
+            pinned = prepared.with_constraints(
+                [Constraint(LinExpr({var: b}) - beta - i, EQ)]
+            )
+            results.extend(eliminate_variable(pinned, var))
+    return results
+
+
+def project_out(
+    conjunct: Conjunct,
+    names: Sequence[str],
+    approximate: bool = False,
+) -> List[Conjunct]:
+    """Project several variables out of a conjunct, exactly."""
+    work = [conjunct.with_wildcards(
+        [n for n in names if n not in conjunct.wildcards]
+    )]
+    for name in names:
+        next_work: List[Conjunct] = []
+        for item in work:
+            next_work.extend(eliminate_variable(item, name, approximate))
+        work = next_work
+    # Eliminating a dim through its stride equality can strand the witness
+    # in inequalities only; such wildcards are cheaply FME-eliminable and
+    # would otherwise break exact negation downstream.
+    cleaned: List[Conjunct] = []
+    stack = list(work)
+    while stack:
+        item = stack.pop()
+        stranded = next(
+            (
+                w
+                for w in item.wildcards
+                if item.uses(w)
+                and not any(
+                    c.coeff(w) for c in item.equalities()
+                )
+            ),
+            None,
+        )
+        if stranded is None:
+            cleaned.append(item)
+        else:
+            stack.extend(eliminate_variable(item, stranded, approximate))
+    return cleaned
+
+
+# ---------------------------------------------------------------------------
+# Emptiness
+# ---------------------------------------------------------------------------
+
+def _choose_elimination_var(conjunct: Conjunct) -> str:
+    """Pick the variable whose elimination is cheapest (exact first)."""
+    best_var = None
+    best_score = None
+    for var in conjunct.variables():
+        lowers = uppers = 0
+        exact = True
+        in_equality = False
+        for constraint in conjunct.constraints:
+            coeff = constraint.coeff(var)
+            if coeff == 0:
+                continue
+            if constraint.is_equality:
+                in_equality = True
+                if abs(coeff) == 1:
+                    return var  # unit equality: free elimination
+            elif coeff > 0:
+                lowers += 1
+                exact = exact and coeff == 1
+            else:
+                uppers += 1
+                exact = exact and coeff == -1
+        score = lowers * uppers + (0 if exact or in_equality else 10_000)
+        if best_score is None or score < best_score:
+            best_var = var
+            best_score = score
+    assert best_var is not None
+    return best_var
+
+
+_EMPTINESS_CACHE: dict = {}
+_EMPTINESS_CACHE_LIMIT = 200_000
+
+
+def is_empty_conjunct(conjunct: Conjunct) -> bool:
+    """Exact integer emptiness test (all variables existential); memoized."""
+    key = conjunct.key()
+    cached = _EMPTINESS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _is_empty_conjunct_uncached(conjunct)
+    if len(_EMPTINESS_CACHE) < _EMPTINESS_CACHE_LIMIT:
+        _EMPTINESS_CACHE[key] = result
+    return result
+
+
+def _is_empty_conjunct_uncached(conjunct: Conjunct) -> bool:
+    work: List[Conjunct] = [conjunct]
+    while work:
+        current = solve_equalities(work.pop(), protected=set())
+        if current is None:
+            continue
+        variables = current.variables()
+        if not variables:
+            if all(c.holds({}) for c in current.constraints):
+                return False
+            continue
+        var = _choose_elimination_var(current)
+        work.extend(eliminate_variable(current, var))
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Redundancy / gist
+# ---------------------------------------------------------------------------
+
+def constraint_redundant(conjunct: Conjunct, constraint: Constraint) -> bool:
+    """True if ``conjunct`` implies ``constraint``."""
+    return all(
+        is_empty_conjunct(conjunct.with_constraints([clause]))
+        for clause in constraint.negated()
+    )
+
+
+def remove_redundancies(conjunct: Conjunct) -> Optional[Conjunct]:
+    """Drop inequalities implied by the remaining constraints."""
+    current = normalize(conjunct)
+    if current is None:
+        return None
+    kept: List[Constraint] = list(current.constraints)
+    index = 0
+    while index < len(kept):
+        candidate = kept[index]
+        if candidate.is_equality:
+            index += 1
+            continue
+        rest = Conjunct(
+            kept[:index] + kept[index + 1:], current.wildcards
+        )
+        if constraint_redundant(rest, candidate):
+            kept.pop(index)
+        else:
+            index += 1
+    return normalize(Conjunct(kept, current.wildcards))
+
+
+def gist_conjunct(
+    conjunct: Conjunct, context: Conjunct
+) -> Optional[Conjunct]:
+    """Constraints of ``conjunct`` not already implied by ``context``.
+
+    The result, conjoined with ``context``, equals ``conjunct ∧ context``.
+    """
+    simplified = normalize(conjunct)
+    if simplified is None:
+        return None
+    kept: List[Constraint] = []
+    base = context.conjoin(Conjunct((), simplified.wildcards))
+    for constraint in simplified.constraints:
+        if not constraint_redundant(
+            base.with_constraints(kept), constraint
+        ):
+            kept.append(constraint)
+    return Conjunct(kept, simplified.wildcards)

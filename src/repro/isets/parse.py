@@ -1,0 +1,270 @@
+"""Parser for Omega-like set/map notation.
+
+Accepted syntax (a pragmatic blend of Omega and isl notation)::
+
+    { [i,j] : 1 <= i <= N and 2 <= j and exists(a : i = 2a + 1) }
+    { [i,j] -> [p] : 25p + 1 <= j <= 25p + 25 and 0 <= p <= 3 }
+    { [i] : i = 1 or i = N }
+
+* Chains of relational operators are allowed: ``1 <= i < N+1``.
+* ``2a`` is implicit multiplication (``2*a`` also accepted).
+* ``or`` separates conjuncts; ``and`` (or ``&``) separates constraints.
+* ``exists(vars : body)`` introduces wildcards scoped to its conjunct.
+* Names not bound by the tuple(s) or an ``exists`` are symbolic constants.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from .constraint import Constraint
+from .conjunct import Conjunct
+from .errors import ParseError
+from .linexpr import LinExpr
+from .ops import IntegerMap, IntegerSet
+from .space import Space, fresh_name
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*'?)"
+    r"|(?P<op><=|>=|==|!=|->|[-+*=<>{}\[\](),:&|])"
+    r")"
+)
+
+_KEYWORDS = {"and", "or", "exists", "true", "false", "mod"}
+
+
+class _Tokenizer:
+    def __init__(self, text: str):
+        self.tokens: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                if text[pos:].strip() == "":
+                    break
+                raise ParseError(
+                    f"unexpected character {text[pos]!r} at position {pos}"
+                )
+            pos = match.end()
+            if match.lastgroup == "num":
+                self.tokens.append(("num", match.group("num")))
+            elif match.lastgroup == "name":
+                name = match.group("name")
+                if name in _KEYWORDS:
+                    self.tokens.append((name, name))
+                else:
+                    self.tokens.append(("name", name))
+            else:
+                self.tokens.append((match.group("op"), match.group("op")))
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        token = self.next()
+        if token[0] != kind:
+            raise ParseError(f"expected {kind!r}, got {token[1]!r}")
+        return token[1]
+
+    def accept(self, kind: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self.index += 1
+            return True
+        return False
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.toks = _Tokenizer(text)
+
+    # -- top level -----------------------------------------------------------
+
+    def parse(self):
+        self.toks.expect("{")
+        in_dims = self._tuple()
+        out_dims = None
+        if self.toks.accept("->"):
+            out_dims = self._tuple()
+        conjuncts: List[Conjunct]
+        if self.toks.accept(":"):
+            conjuncts = self._formula()
+        else:
+            conjuncts = [Conjunct()]
+        self.toks.expect("}")
+        if self.toks.peek() is not None:
+            raise ParseError(f"trailing input: {self.toks.peek()[1]!r}")
+        if out_dims is None:
+            return IntegerSet(Space(in_dims), conjuncts)
+        return IntegerMap(Space(in_dims, out_dims), conjuncts)
+
+    def _tuple(self) -> Tuple[str, ...]:
+        self.toks.expect("[")
+        names: List[str] = []
+        if not self.toks.accept("]"):
+            names.append(self.toks.expect("name"))
+            while self.toks.accept(","):
+                names.append(self.toks.expect("name"))
+            self.toks.expect("]")
+        return tuple(names)
+
+    # -- formulas -------------------------------------------------------------
+
+    def _formula(self) -> List[Conjunct]:
+        conjuncts = [self._clause()]
+        while self.toks.accept("or") or self.toks.accept("|"):
+            self.toks.accept("|")
+            conjuncts.append(self._clause())
+        return conjuncts
+
+    def _clause(self) -> Conjunct:
+        constraints: List[Constraint] = []
+        wildcards: List[str] = []
+        self._atom(constraints, wildcards)
+        while self.toks.accept("and") or self.toks.accept("&"):
+            self.toks.accept("&")
+            self._atom(constraints, wildcards)
+        return Conjunct(constraints, wildcards)
+
+    def _atom(
+        self, constraints: List[Constraint], wildcards: List[str]
+    ) -> None:
+        token = self.toks.peek()
+        if token is None:
+            raise ParseError("unexpected end of formula")
+        if token[0] == "true":
+            self.toks.next()
+            return
+        if token[0] == "false":
+            self.toks.next()
+            constraints.append(Constraint.eq(LinExpr.const(1), 0))
+            return
+        if token[0] == "exists":
+            self.toks.next()
+            self.toks.expect("(")
+            names = [self.toks.expect("name")]
+            while self.toks.accept(","):
+                names.append(self.toks.expect("name"))
+            self.toks.expect(":")
+            # Rename wildcards apart so nested/multiple exists never clash.
+            renaming = {n: fresh_name(n) for n in names}
+            inner_constraints: List[Constraint] = []
+            self._chain(inner_constraints)
+            while self.toks.accept("and") or self.toks.accept("&"):
+                self._chain(inner_constraints)
+            self.toks.expect(")")
+            constraints.extend(
+                c.rename(renaming) for c in inner_constraints
+            )
+            wildcards.extend(renaming.values())
+            return
+        self._chain(constraints)
+
+    def _chain(self, constraints: List[Constraint]) -> None:
+        relops = {"<=", "<", ">=", ">", "=", "=="}
+        left = self._expr()
+        token = self.toks.peek()
+        if token is None or token[0] not in relops:
+            raise ParseError("expected a relational operator")
+        while token is not None and token[0] in relops:
+            op = self.toks.next()[0]
+            right = self._expr()
+            constraints.append(self._relate(left, op, right))
+            left = right
+            token = self.toks.peek()
+
+    def _relate(self, left: LinExpr, op: str, right: LinExpr) -> Constraint:
+        if op in ("=", "=="):
+            return Constraint.eq(left, right)
+        if op == "<=":
+            return Constraint.leq(left, right)
+        if op == "<":
+            return Constraint.lt(left, right)
+        if op == ">=":
+            return Constraint.geq(left, right)
+        if op == ">":
+            return Constraint.gt(left, right)
+        raise ParseError(f"operator {op!r} is not supported (use set ops)")
+
+    # -- affine expressions ------------------------------------------------------
+
+    def _expr(self) -> LinExpr:
+        expr = self._term()
+        token = self.toks.peek()
+        while token is not None and token[0] in ("+", "-"):
+            op = self.toks.next()[0]
+            term = self._term()
+            expr = expr + term if op == "+" else expr - term
+            token = self.toks.peek()
+        return expr
+
+    def _term(self) -> LinExpr:
+        sign = 1
+        while True:
+            token = self.toks.peek()
+            if token is not None and token[0] == "-":
+                self.toks.next()
+                sign = -sign
+            elif token is not None and token[0] == "+":
+                self.toks.next()
+            else:
+                break
+        token = self.toks.next()
+        if token[0] == "num":
+            value = int(token[1])
+            nxt = self.toks.peek()
+            if nxt is not None and nxt[0] == "*":
+                self.toks.next()
+                factor = self._term()
+                return factor.scaled(sign * value)
+            if nxt is not None and nxt[0] == "name":
+                name = self.toks.next()[1]
+                return LinExpr({name: sign * value}, 0)
+            if nxt is not None and nxt[0] == "(":
+                self.toks.next()
+                inner = self._expr()
+                self.toks.expect(")")
+                return inner.scaled(sign * value)
+            return LinExpr.const(sign * value)
+        if token[0] == "name":
+            expr = LinExpr.var(token[1])
+            nxt = self.toks.peek()
+            if nxt is not None and nxt[0] == "*":
+                self.toks.next()
+                factor = self._term()
+                return (expr * factor).scaled(sign)
+            return expr.scaled(sign)
+        if token[0] == "(":
+            inner = self._expr()
+            self.toks.expect(")")
+            return inner.scaled(sign)
+        raise ParseError(f"unexpected token {token[1]!r} in expression")
+
+
+def parse_set(text: str) -> IntegerSet:
+    """Parse an :class:`IntegerSet` from Omega-like notation."""
+    result = _Parser(text).parse()
+    if not isinstance(result, IntegerSet):
+        raise ParseError("expected a set, found a map")
+    return result
+
+
+def parse_map(text: str) -> IntegerMap:
+    """Parse an :class:`IntegerMap` from Omega-like notation."""
+    result = _Parser(text).parse()
+    if not isinstance(result, IntegerMap):
+        raise ParseError("expected a map, found a set")
+    return result

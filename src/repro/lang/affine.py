@@ -1,0 +1,70 @@
+"""Conversion of language expressions to affine :class:`LinExpr` form.
+
+Subscripts, loop bounds, and alignment targets must be affine in the loop
+indices and symbolic parameters for the set framework to represent them;
+anything else raises :class:`NonAffineSubscriptError`, mirroring the
+decidability boundary discussed in the paper's Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..isets import LinExpr
+from .ast import ArrayRef, BinOp, Call, Expr, Name, Num, UnOp
+from .errors import NonAffineSubscriptError
+
+
+def to_affine(expr: Expr, integer_division_names: Optional[Set[str]] = None) -> LinExpr:
+    """Convert an expression to a LinExpr over its free names.
+
+    Division is only accepted when the result is exact over the integers
+    (constant/constant, or every coefficient divisible).
+    """
+    if isinstance(expr, Num):
+        if not float(expr.value).is_integer():
+            raise NonAffineSubscriptError(
+                f"non-integer constant {expr.value} in affine context"
+            )
+        return LinExpr.const(int(expr.value))
+    if isinstance(expr, Name):
+        return LinExpr.var(expr.ident)
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            return -to_affine(expr.operand)
+        raise NonAffineSubscriptError(f"operator {expr.op!r} is not affine")
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            return to_affine(expr.left) + to_affine(expr.right)
+        if expr.op == "-":
+            return to_affine(expr.left) - to_affine(expr.right)
+        if expr.op == "*":
+            left = to_affine(expr.left)
+            right = to_affine(expr.right)
+            return left * right  # LinExpr raises NonAffineError on v*v
+        if expr.op == "/":
+            left = to_affine(expr.left)
+            right = to_affine(expr.right)
+            if not right.is_constant():
+                raise NonAffineSubscriptError(
+                    f"division by non-constant: {expr}"
+                )
+            try:
+                return left.exact_div(right.constant)
+            except ValueError as exc:
+                raise NonAffineSubscriptError(str(exc)) from exc
+        raise NonAffineSubscriptError(
+            f"operator {expr.op!r} in affine context"
+        )
+    if isinstance(expr, (Call, ArrayRef)):
+        raise NonAffineSubscriptError(f"{expr} is not affine")
+    raise NonAffineSubscriptError(f"unsupported expression {expr!r}")
+
+
+def is_affine(expr: Expr) -> bool:
+    """True when :func:`to_affine` would succeed."""
+    try:
+        to_affine(expr)
+        return True
+    except Exception:
+        return False

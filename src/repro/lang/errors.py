@@ -1,0 +1,17 @@
+"""Errors raised by the mini-HPF frontend."""
+
+
+class LangError(Exception):
+    """Base class for frontend errors."""
+
+
+class LangParseError(LangError):
+    """Source text could not be parsed."""
+
+
+class SemanticError(LangError):
+    """The program is structurally invalid (unknown names, rank errors...)."""
+
+
+class NonAffineSubscriptError(LangError):
+    """A subscript is not affine in the loop indices and parameters."""

@@ -1,0 +1,222 @@
+"""Serial reference interpreter for mini-HPF programs.
+
+Executes a :class:`~repro.lang.ast.Program` sequentially with numpy arrays,
+ignoring all data-mapping directives.  The compiled SPMD code is validated
+against this interpreter's results (every benchmark run does so before any
+performance measurement).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from .ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Do,
+    Expr,
+    If,
+    Name,
+    Num,
+    Procedure,
+    Program,
+    Stmt,
+    UnOp,
+)
+from .errors import SemanticError
+
+
+class ArrayStorage:
+    """A numpy array plus per-dimension lower bounds (Fortran style)."""
+
+    __slots__ = ("data", "lbounds")
+
+    def __init__(self, data: np.ndarray, lbounds: Tuple[int, ...]):
+        self.data = data
+        self.lbounds = lbounds
+
+    def index(self, subscripts: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(s - lb for s, lb in zip(subscripts, self.lbounds))
+
+    def get(self, subscripts: Tuple[int, ...]) -> float:
+        return float(self.data[self.index(subscripts)])
+
+    def set(self, subscripts: Tuple[int, ...], value: float) -> None:
+        self.data[self.index(subscripts)] = value
+
+
+class Interpreter:
+    """Evaluates a program under a parameter binding."""
+
+    def __init__(self, program: Program, params: Mapping[str, int]):
+        self.program = program
+        self.values: Dict[str, Union[int, float]] = {}
+        for decl in program.parameters:
+            if decl.name in params:
+                self.values[decl.name] = int(params[decl.name])
+            elif decl.value is not None:
+                self.values[decl.name] = decl.value
+            else:
+                raise SemanticError(
+                    f"parameter {decl.name} has no value; pass it in params"
+                )
+        for name, value in params.items():
+            self.values.setdefault(name, int(value))
+        for scalar in program.scalars:
+            self.values.setdefault(scalar.name, 0.0)
+        self.arrays: Dict[str, ArrayStorage] = {}
+        for decl in program.arrays:
+            lbounds = []
+            shape = []
+            for low, high in decl.extents:
+                lo = self.int_eval(low)
+                hi = self.int_eval(high)
+                lbounds.append(lo)
+                shape.append(hi - lo + 1)
+            self.arrays[decl.name] = ArrayStorage(
+                np.zeros(tuple(shape), dtype=np.float64), tuple(lbounds)
+            )
+
+    # -- expression evaluation ------------------------------------------------
+
+    def int_eval(self, expr: Expr) -> int:
+        value = self.eval(expr)
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise SemanticError(f"expected integer, got {value}")
+            return int(value)
+        return int(value)
+
+    def eval(self, expr: Expr) -> Union[int, float]:
+        if isinstance(expr, Num):
+            value = expr.value
+            if float(value).is_integer() and not isinstance(value, float):
+                return int(value)
+            return value
+        if isinstance(expr, Name):
+            if expr.ident not in self.values:
+                raise SemanticError(f"undefined name {expr.ident!r}")
+            return self.values[expr.ident]
+        if isinstance(expr, ArrayRef):
+            storage = self._storage(expr.array)
+            subs = tuple(self.int_eval(s) for s in expr.subscripts)
+            return storage.get(subs)
+        if isinstance(expr, UnOp):
+            value = self.eval(expr.operand)
+            if expr.op == "-":
+                return -value
+            raise SemanticError(f"unknown unary op {expr.op!r}")
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, Call):
+            return self._eval_call(expr)
+        raise SemanticError(f"cannot evaluate {expr!r}")
+
+    def _eval_binop(self, expr: BinOp) -> Union[int, float]:
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        op = expr.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                # Fortran integer division truncates toward zero.
+                return int(math.trunc(left / right))
+            return left / right
+        if op == "**":
+            return left ** right
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+        if op == "==":
+            return int(left == right)
+        if op == "/=":
+            return int(left != right)
+        raise SemanticError(f"unknown operator {op!r}")
+
+    def _eval_call(self, expr: Call) -> Union[int, float]:
+        args = [self.eval(a) for a in expr.args]
+        if expr.func == "max":
+            return max(args)
+        if expr.func == "min":
+            return min(args)
+        if expr.func == "abs":
+            return abs(args[0])
+        if expr.func == "sqrt":
+            return math.sqrt(args[0])
+        if expr.func == "exp":
+            return math.exp(args[0])
+        if expr.func == "mod":
+            return args[0] % args[1]
+        raise SemanticError(f"unknown intrinsic {expr.func!r}")
+
+    def _storage(self, name: str) -> ArrayStorage:
+        if name not in self.arrays:
+            raise SemanticError(f"undefined array {name!r}")
+        return self.arrays[name]
+
+    # -- statement execution -----------------------------------------------------
+
+    def run(self, procedure: Optional[str] = None) -> None:
+        body = (
+            self.program.main.body
+            if procedure is None
+            else self.program.procedure(procedure).body
+        )
+        self.exec_body(body)
+
+    def exec_body(self, body: List[Stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            value = self.eval(stmt.rhs)
+            if isinstance(stmt.lhs, ArrayRef):
+                storage = self._storage(stmt.lhs.array)
+                subs = tuple(self.int_eval(s) for s in stmt.lhs.subscripts)
+                storage.set(subs, float(value))
+            else:
+                self.values[stmt.lhs.ident] = value
+        elif isinstance(stmt, Do):
+            lower = self.int_eval(stmt.lower)
+            upper = self.int_eval(stmt.upper)
+            step = self.int_eval(stmt.step)
+            if step == 0:
+                raise SemanticError("zero loop step")
+            for value in range(lower, upper + (1 if step > 0 else -1), step):
+                self.values[stmt.var] = value
+                self.exec_body(stmt.body)
+        elif isinstance(stmt, If):
+            if self.eval(stmt.cond):
+                self.exec_body(stmt.then_body)
+            else:
+                self.exec_body(stmt.else_body)
+        elif isinstance(stmt, CallStmt):
+            self.exec_body(self.program.procedure(stmt.name).body)
+        else:
+            raise SemanticError(f"cannot execute {stmt!r}")
+
+
+def run_serial(
+    program: Program, params: Mapping[str, int]
+) -> Interpreter:
+    """Run the whole program serially; returns the interpreter for results."""
+    interp = Interpreter(program, params)
+    interp.run()
+    return interp

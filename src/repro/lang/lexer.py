@@ -1,0 +1,76 @@
+"""Tokenizer for the mini-HPF language.
+
+Line-oriented (statements end at newline), Fortran-flavoured: ``!`` starts a
+comment, keywords are lowercase, relational operators use symbols
+(``< <= > >= == /=``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LangParseError
+
+_TOKEN_RE = re.compile(
+    r"(?P<float>\d+\.\d*(?:[eEdD][-+]?\d+)?|\.\d+(?:[eEdD][-+]?\d+)?"
+    r"|\d+[eEdD][-+]?\d+)"
+    r"|(?P<int>\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>\*\*|<=|>=|==|/=|[-+*/=<>(),:])"
+    r"|(?P<ws>[ \t]+)"
+    r"|(?P<comment>![^\n]*)"
+    r"|(?P<newline>\n)"
+)
+
+KEYWORDS = {
+    "program", "end", "do", "if", "then", "else", "endif", "enddo",
+    "parameter", "real", "integer", "scalar", "processors", "template",
+    "align", "with", "distribute", "onto", "on_home", "union",
+    "procedure", "call", "block", "cyclic",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int', 'float', 'name', keyword, operator, 'newline', 'eof'
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize; raises :class:`LangParseError` on illegal characters."""
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    if not source.endswith("\n"):
+        source += "\n"
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise LangParseError(
+                f"line {line}: unexpected character {source[pos]!r}"
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "newline":
+            if tokens and tokens[-1].kind != "newline":
+                tokens.append(Token("newline", "\n", line))
+            line += 1
+            continue
+        if kind == "name":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(lowered, text, line))
+            else:
+                tokens.append(Token("name", text, line))
+        elif kind == "op":
+            tokens.append(Token(text, text, line))
+        else:
+            tokens.append(Token(kind, text, line))
+    tokens.append(Token("eof", "", line))
+    return tokens

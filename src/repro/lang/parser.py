@@ -1,0 +1,444 @@
+"""Recursive-descent parser for the mini-HPF language.
+
+Grammar sketch (statements are newline-terminated)::
+
+    program   := 'program' NAME NL decl* proc* 'end'
+    decl      := 'parameter' param (',' param)*
+               | 'real' arrspec (',' arrspec)*
+               | 'scalar' NAME (',' NAME)*
+               | 'processors' NAME '(' expr (',' expr)* ')'
+               | 'template' NAME '(' extent (',' extent)* ')'
+               | 'align' NAME '(' dummies ')' 'with' NAME '(' tgt* ')'
+               | 'distribute' NAME '(' fmt* ')' 'onto' NAME
+    proc      := 'procedure' NAME NL stmt* 'end'   (or bare stmts = main)
+    stmt      := 'do' NAME '=' expr ',' expr [',' expr] NL stmt* 'end' 'do'
+               | 'if' '(' expr ')' 'then' NL stmt* ['else' NL stmt*]
+                 'end' 'if'
+               | 'on_home' ref ('union' ref)* NL     (annotates next stmt)
+               | 'call' NAME NL
+               | lvalue '=' expr NL
+
+An ``on_home`` line attaches a :class:`ComputationPartitioning` to the next
+assignment (the paper's CP directive, shown as ``! ON HOME B(j-1,i)`` in
+Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    AlignDecl,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    ComputationPartitioning,
+    DistFormat,
+    DistributeDecl,
+    Do,
+    Expr,
+    If,
+    Name,
+    Num,
+    OnHomeTerm,
+    ParameterDecl,
+    Procedure,
+    ProcessorsDecl,
+    Program,
+    ScalarDecl,
+    Stmt,
+    TemplateDecl,
+    UnOp,
+)
+from .errors import LangParseError
+from .lexer import Token, tokenize
+
+_INTRINSICS = {"max", "min", "abs", "sqrt", "mod", "exp"}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        token = self.next()
+        if token.kind != kind:
+            raise LangParseError(
+                f"line {token.line}: expected {kind!r}, got {token.text!r}"
+            )
+        return token
+
+    def skip_newlines(self) -> None:
+        while self.accept("newline"):
+            pass
+
+    def end_of_statement(self) -> None:
+        token = self.peek()
+        if token.kind == "eof":
+            return
+        self.expect("newline")
+        self.skip_newlines()
+
+    # -- program ---------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        self.skip_newlines()
+        self.expect("program")
+        name = self.expect("name").text
+        program = Program(name=name)
+        self.end_of_statement()
+        while True:
+            token = self.peek()
+            if token.kind == "parameter":
+                self._parse_parameters(program)
+            elif token.kind in ("real", "integer"):
+                self._parse_real(program)
+            elif token.kind == "scalar":
+                self._parse_scalars(program)
+            elif token.kind == "processors":
+                self._parse_processors(program)
+            elif token.kind == "template":
+                self._parse_template(program)
+            elif token.kind == "align":
+                self._parse_align(program)
+            elif token.kind == "distribute":
+                self._parse_distribute(program)
+            else:
+                break
+            self.end_of_statement()
+        # Procedures, or bare statements forming 'main'.
+        while self.peek().kind == "procedure":
+            self.next()
+            proc_name = self.expect("name").text
+            self.end_of_statement()
+            body = self._parse_statements(("end",))
+            self.expect("end")
+            self.end_of_statement()
+            program.procedures.append(Procedure(proc_name, body))
+        if self.peek().kind != "end":
+            body = self._parse_statements(("end",))
+            program.procedures.insert(0, Procedure("main", body))
+        self.expect("end")
+        self.skip_newlines()
+        self.expect("eof")
+        if not program.procedures:
+            program.procedures.append(Procedure("main", []))
+        return program
+
+    # -- declarations -------------------------------------------------------------
+
+    def _parse_parameters(self, program: Program) -> None:
+        self.expect("parameter")
+        while True:
+            name = self.expect("name").text
+            value = None
+            if self.accept("="):
+                sign = -1 if self.accept("-") else 1
+                value = sign * int(self.expect("int").text)
+            program.parameters.append(ParameterDecl(name, value))
+            if not self.accept(","):
+                break
+
+    def _parse_real(self, program: Program) -> None:
+        self.next()  # real / integer
+        while True:
+            name = self.expect("name").text
+            if self.peek().kind == "(":
+                extents = self._parse_extents()
+                program.arrays.append(ArrayDecl(name, extents))
+            else:
+                program.scalars.append(ScalarDecl(name))
+            if not self.accept(","):
+                break
+
+    def _parse_scalars(self, program: Program) -> None:
+        self.expect("scalar")
+        while True:
+            program.scalars.append(ScalarDecl(self.expect("name").text))
+            if not self.accept(","):
+                break
+
+    def _parse_extents(self) -> List[Tuple[Expr, Expr]]:
+        self.expect("(")
+        extents: List[Tuple[Expr, Expr]] = []
+        while True:
+            first = self.parse_expr()
+            if self.accept(":"):
+                second = self.parse_expr()
+                extents.append((first, second))
+            else:
+                extents.append((Num(1), first))
+            if not self.accept(","):
+                break
+        self.expect(")")
+        return extents
+
+    def _parse_processors(self, program: Program) -> None:
+        self.expect("processors")
+        name = self.expect("name").text
+        self.expect("(")
+        extents = [self.parse_expr()]
+        while self.accept(","):
+            extents.append(self.parse_expr())
+        self.expect(")")
+        program.processors.append(ProcessorsDecl(name, extents))
+
+    def _parse_template(self, program: Program) -> None:
+        self.expect("template")
+        name = self.expect("name").text
+        extents = self._parse_extents()
+        program.templates.append(TemplateDecl(name, extents))
+
+    def _parse_align(self, program: Program) -> None:
+        self.expect("align")
+        array = self.expect("name").text
+        self.expect("(")
+        dummies = [self.expect("name").text]
+        while self.accept(","):
+            dummies.append(self.expect("name").text)
+        self.expect(")")
+        self.expect("with")
+        template = self.expect("name").text
+        self.expect("(")
+        targets: List[Optional[Expr]] = []
+        while True:
+            if self.accept("*"):
+                targets.append(None)
+            else:
+                targets.append(self.parse_expr())
+            if not self.accept(","):
+                break
+        self.expect(")")
+        program.aligns.append(AlignDecl(array, dummies, template, targets))
+
+    def _parse_distribute(self, program: Program) -> None:
+        self.expect("distribute")
+        template = self.expect("name").text
+        self.expect("(")
+        formats: List[DistFormat] = []
+        while True:
+            if self.accept("*"):
+                formats.append(DistFormat("*"))
+            elif self.accept("block"):
+                formats.append(DistFormat("block"))
+            elif self.accept("cyclic"):
+                block_size = None
+                if self.accept("("):
+                    block_size = self.parse_expr()
+                    self.expect(")")
+                formats.append(DistFormat("cyclic", block_size))
+            else:
+                token = self.peek()
+                raise LangParseError(
+                    f"line {token.line}: bad distribution format "
+                    f"{token.text!r}"
+                )
+            if not self.accept(","):
+                break
+        self.expect(")")
+        self.expect("onto")
+        processors = self.expect("name").text
+        program.distributes.append(
+            DistributeDecl(template, formats, processors)
+        )
+
+    # -- statements ------------------------------------------------------------------
+
+    def _parse_statements(self, stop_kinds: Tuple[str, ...]) -> List[Stmt]:
+        body: List[Stmt] = []
+        pending_cp: Optional[ComputationPartitioning] = None
+        self.skip_newlines()
+        while self.peek().kind not in stop_kinds + ("eof", "else"):
+            token = self.peek()
+            if token.kind == "on_home":
+                pending_cp = self._parse_on_home()
+                continue
+            stmt = self._parse_statement()
+            if pending_cp is not None:
+                if isinstance(stmt, Assign):
+                    stmt.cp = pending_cp
+                else:
+                    raise LangParseError(
+                        f"line {token.line}: on_home must precede an "
+                        f"assignment"
+                    )
+                pending_cp = None
+            body.append(stmt)
+            self.skip_newlines()
+        if pending_cp is not None:
+            raise LangParseError("dangling on_home directive")
+        return body
+
+    def _parse_on_home(self) -> ComputationPartitioning:
+        self.expect("on_home")
+        terms = [OnHomeTerm(self._parse_array_ref())]
+        while self.accept("union"):
+            terms.append(OnHomeTerm(self._parse_array_ref()))
+        self.end_of_statement()
+        return ComputationPartitioning(tuple(terms))
+
+    def _parse_array_ref(self) -> ArrayRef:
+        name = self.expect("name").text
+        self.expect("(")
+        subs = [self.parse_expr()]
+        while self.accept(","):
+            subs.append(self.parse_expr())
+        self.expect(")")
+        return ArrayRef(name, tuple(subs))
+
+    def _parse_statement(self) -> Stmt:
+        token = self.peek()
+        if token.kind == "do":
+            return self._parse_do()
+        if token.kind == "if":
+            return self._parse_if()
+        if token.kind == "call":
+            self.next()
+            name = self.expect("name").text
+            self.end_of_statement()
+            return CallStmt(name)
+        return self._parse_assign()
+
+    def _parse_do(self) -> Do:
+        self.expect("do")
+        var = self.expect("name").text
+        self.expect("=")
+        lower = self.parse_expr()
+        self.expect(",")
+        upper = self.parse_expr()
+        step: Expr = Num(1)
+        if self.accept(","):
+            step = self.parse_expr()
+        self.end_of_statement()
+        body = self._parse_statements(("end", "enddo"))
+        if not self.accept("enddo"):
+            self.expect("end")
+            self.expect("do")
+        self.end_of_statement()
+        return Do(var, lower, upper, step, body)
+
+    def _parse_if(self) -> If:
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect("then")
+        self.end_of_statement()
+        then_body = self._parse_statements(("end", "endif", "else"))
+        else_body: List[Stmt] = []
+        if self.accept("else"):
+            self.end_of_statement()
+            else_body = self._parse_statements(("end", "endif"))
+        if not self.accept("endif"):
+            self.expect("end")
+            self.expect("if")
+        self.end_of_statement()
+        return If(cond, then_body, else_body)
+
+    def _parse_assign(self) -> Assign:
+        name = self.expect("name").text
+        lhs: Expr
+        if self.peek().kind == "(":
+            self.index -= 1
+            lhs = self._parse_array_ref()
+        else:
+            lhs = Name(name)
+        self.expect("=")
+        rhs = self.parse_expr()
+        self.end_of_statement()
+        return Assign(lhs, rhs)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind in ("<", "<=", ">", ">=", "==", "/="):
+            op = self.next().kind
+            right = self._parse_additive()
+            return BinOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_multiplicative()
+        while self.peek().kind in ("+", "-"):
+            op = self.next().kind
+            right = self._parse_multiplicative()
+            expr = BinOp(op, expr, right)
+        return expr
+
+    def _parse_multiplicative(self) -> Expr:
+        expr = self._parse_unary()
+        while self.peek().kind in ("*", "/"):
+            op = self.next().kind
+            right = self._parse_unary()
+            expr = BinOp(op, expr, right)
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        if self.accept("-"):
+            return UnOp("-", self._parse_unary())
+        if self.accept("+"):
+            return self._parse_unary()
+        return self._parse_power()
+
+    def _parse_power(self) -> Expr:
+        base = self._parse_primary()
+        if self.peek().kind == "**":
+            self.next()
+            exponent = self._parse_unary()
+            return BinOp("**", base, exponent)
+        return base
+
+    def _parse_primary(self) -> Expr:
+        token = self.next()
+        if token.kind == "int":
+            return Num(int(token.text))
+        if token.kind == "float":
+            return Num(float(token.text.replace("d", "e").replace("D", "e")))
+        if token.kind == "(":
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.kind == "name":
+            if self.peek().kind == "(":
+                self.next()
+                args = [self.parse_expr()]
+                while self.accept(","):
+                    args.append(self.parse_expr())
+                self.expect(")")
+                if token.text.lower() in _INTRINSICS:
+                    return Call(token.text.lower(), tuple(args))
+                return ArrayRef(token.text, tuple(args))
+            return Name(token.text)
+        raise LangParseError(
+            f"line {token.line}: unexpected token {token.text!r}"
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse mini-HPF source text into a :class:`Program`."""
+    return Parser(source).parse_program()

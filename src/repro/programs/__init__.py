@@ -1,0 +1,22 @@
+"""Benchmark programs in the mini-HPF language (paper Sections 6 and 7).
+
+Each function returns mini-HPF source text.  The codes mirror the paper's
+benchmark set structurally:
+
+* :func:`jacobi` — 4-point stencil with a convergence loop, (BLOCK, BLOCK)
+  on a ``2 × (nprocs/2)`` grid (Figure 7c);
+* :func:`tomcatv` — mesh-generation-style residual/update sweeps with two
+  max-reductions per time step, (BLOCK, *) (Figure 7a);
+* :func:`erlebacher` — 3D compact-differencing-style code: a z-pipelined
+  forward sweep plus a top-plane broadcast correction, (*, *, BLOCK)
+  (Figure 7b);
+* :func:`gauss` — the Gaussian-elimination loop of Figure 5, cyclic rows;
+* :func:`redblack` — red-black Gauss-Seidel with strided (step-2) loops;
+* :func:`sp_like` — a synthetic multi-procedure 3D ADI-style application of
+  configurable size used for the Table 1 compile-time study (the stand-in
+  for NAS SP, which we cannot redistribute).
+"""
+
+from .sources import erlebacher, gauss, jacobi, redblack, sp_like, tomcatv
+
+__all__ = ["erlebacher", "gauss", "jacobi", "redblack", "sp_like", "tomcatv"]

@@ -1,0 +1,290 @@
+"""Source texts of the benchmark programs."""
+
+from __future__ import annotations
+
+
+def jacobi() -> str:
+    """4-point stencil with convergence test (paper Figure 7c workload).
+
+    (BLOCK, BLOCK) on a ``2 x (nprocs/2)`` grid, as in the paper's JACOBI
+    experiment; parameters: ``n`` (grid size), ``niter`` (time steps).
+    """
+    return """
+program jacobi
+  parameter n, niter
+  real u(n,n), v(n,n)
+  scalar err
+  processors p(2, nprocs / 2)
+  template t(n,n)
+  align u(i,j) with t(i,j)
+  align v(i,j) with t(i,j)
+  distribute t(block, block) onto p
+
+  do i = 1, n
+    do j = 1, n
+      v(i,j) = i + j * 0.3
+      u(i,j) = 0.0
+    end do
+  end do
+  do iter = 1, niter
+    do i = 2, n-1
+      do j = 2, n-1
+        u(i,j) = 0.25 * (v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+      end do
+    end do
+    err = 0.0
+    do i = 2, n-1
+      do j = 2, n-1
+        err = max(err, abs(u(i,j) - v(i,j)))
+      end do
+    end do
+    do i = 2, n-1
+      do j = 2, n-1
+        v(i,j) = u(i,j)
+      end do
+    end do
+  end do
+end
+"""
+
+
+def tomcatv() -> str:
+    """TOMCATV-style mesh generation (paper Figure 7a workload).
+
+    (BLOCK, *) row distribution over a 1-D grid; per time step: two
+    residual stencil sweeps, two max reductions (the paper attributes
+    TOMCATV's reduced small-size scalability to these), and update sweeps.
+    Parameters: ``n``, ``niter``.
+    """
+    return """
+program tomcatv
+  parameter n, niter
+  real x(n,n), y(n,n), rx(n,n), ry(n,n)
+  scalar rxm, rym
+  processors p(nprocs)
+  template t(n,n)
+  align x(i,j) with t(i,j)
+  align y(i,j) with t(i,j)
+  align rx(i,j) with t(i,j)
+  align ry(i,j) with t(i,j)
+  distribute t(block, *) onto p
+
+  do i = 1, n
+    do j = 1, n
+      x(i,j) = i * 1.0
+      y(i,j) = j * 1.0
+      rx(i,j) = 0.0
+      ry(i,j) = 0.0
+    end do
+  end do
+  do iter = 1, niter
+    do i = 2, n-1
+      do j = 2, n-1
+        rx(i,j) = x(i-1,j) + x(i+1,j) + x(i,j-1) + x(i,j+1) - 4.0 * x(i,j)
+        ry(i,j) = y(i-1,j) + y(i+1,j) + y(i,j-1) + y(i,j+1) - 4.0 * y(i,j)
+      end do
+    end do
+    rxm = 0.0
+    rym = 0.0
+    do i = 2, n-1
+      do j = 2, n-1
+        rxm = max(rxm, abs(rx(i,j)))
+        rym = max(rym, abs(ry(i,j)))
+      end do
+    end do
+    do i = 2, n-1
+      do j = 2, n-1
+        x(i,j) = x(i,j) + 0.125 * rx(i,j)
+        y(i,j) = y(i,j) + 0.125 * ry(i,j)
+      end do
+    end do
+  end do
+end
+"""
+
+
+def erlebacher() -> str:
+    """ERLEBACHER-style 3D compact differencing (paper Figure 7b workload).
+
+    (*, *, BLOCK): the forward z-sweep pipelines across processors
+    (many small messages), and the final correction reads the last z-plane
+    everywhere (a broadcast-like panel communication) — the two factors the
+    paper names for ERLEBACHER's limited speedup.  Parameters: ``n``
+    (x/y extent), ``nz`` (z extent), ``niter``.
+    """
+    return """
+program erlebacher
+  parameter n, nz, niter
+  real f(n,n,nz), d(n,n,nz)
+  processors p(nprocs)
+  template t(n,n,nz)
+  align f(i,j,k) with t(i,j,k)
+  align d(i,j,k) with t(i,j,k)
+  distribute t(*, *, block) onto p
+
+  do k = 1, nz
+    do i = 1, n
+      do j = 1, n
+        f(i,j,k) = i + 2 * j + 3 * k * 1.0
+        d(i,j,k) = f(i,j,k) * 0.1
+      end do
+    end do
+  end do
+  do iter = 1, niter
+    do k = 2, nz
+      do i = 1, n
+        do j = 1, n
+          d(i,j,k) = d(i,j,k) - 0.4 * d(i,j,k-1)
+        end do
+      end do
+    end do
+    do k = 1, nz - 1
+      do i = 1, n
+        do j = 1, n
+          f(i,j,k) = d(i,j,k) - 0.3 * d(i,j,nz)
+        end do
+      end do
+    end do
+  end do
+end
+"""
+
+
+def gauss() -> str:
+    """Gaussian elimination with cyclic rows (paper Figure 5 scenario).
+
+    ``(CYCLIC, *)`` on a symbolic 1-D grid: the pivot-row read makes every
+    later row's update non-local; active-VP analysis restricts senders to
+    the pivot row's owner.  Parameter: ``n``.
+    """
+    return """
+program gauss
+  parameter n
+  real a(n,n)
+  processors p(nprocs)
+  template t(n,n)
+  align a(i,j) with t(i,j)
+  distribute t(cyclic, *) onto p
+
+  do i = 1, n
+    do j = 1, n
+      a(i,j) = 1.0 + i * 0.3 + j * 0.7
+    end do
+  end do
+  do k = 1, n - 1
+    do i = k + 1, n
+      do j = k + 1, n
+        a(i,j) = a(i,j) - a(k,j) * 0.01
+      end do
+    end do
+  end do
+end
+"""
+
+
+def sp_like(routines: int = 6, nests_per_routine: int = 5,
+            symbolic_procs: bool = True) -> str:
+    """Synthetic multi-procedure 3D ADI-style application (NAS SP stand-in).
+
+    Used for the Table 1 compile-time study: directional sweep routines
+    over 3D arrays with shift stencils in x, y, and z, called from a time
+    loop.  ``symbolic_procs`` selects a ``2 x (nprocs/2)`` grid (the
+    paper's SP-sym) versus a fixed ``2 x 2`` grid (SP-4).
+    """
+    grid = "processors p(2, nprocs / 2)" if symbolic_procs else \
+        "processors p(2, 2)"
+    arrays = ["u", "v", "w", "q"]
+    header = [
+        "program sp_like",
+        "  parameter n, niter",
+        "  real " + ", ".join(f"{a}(n,n,n)" for a in arrays),
+        "  scalar rnorm",
+        f"  {grid}",
+        "  template t(n,n,n)",
+    ]
+    for a in arrays:
+        header.append(f"  align {a}(i,j,k) with t(i,j,k)")
+    header.append("  distribute t(*, block, block) onto p")
+
+    body = []
+    # main: init + time loop calling the sweep routines
+    body.append("  do k = 1, n")
+    body.append("    do j = 1, n")
+    body.append("      do i = 1, n")
+    for index, a in enumerate(arrays):
+        body.append(
+            f"        {a}(i,j,k) = i + {index + 2} * j + k * 0.5"
+        )
+    body.append("      end do")
+    body.append("    end do")
+    body.append("  end do")
+    body.append("  do step = 1, niter")
+    for r in range(routines):
+        body.append(f"    call sweep{r}")
+    body.append("  end do")
+
+    procs = []
+    directions = [
+        ("i", "u", "v"), ("j", "v", "w"), ("k", "w", "q"),
+        ("i", "q", "u"), ("j", "u", "w"), ("k", "v", "q"),
+    ]
+    for r in range(routines):
+        axis, src, dst = directions[r % len(directions)]
+        procs.append(f"procedure sweep{r}")
+        for nest in range(nests_per_routine):
+            coeff = 0.01 * (nest + 1)
+            if axis == "i":
+                ref = f"{src}(i-1,j,k) + {src}(i+1,j,k)"
+                lo = ("2", "1", "1")
+                hi = ("n-1", "n", "n")
+            elif axis == "j":
+                ref = f"{src}(i,j-1,k) + {src}(i,j+1,k)"
+                lo = ("1", "2", "1")
+                hi = ("n", "n-1", "n")
+            else:
+                ref = f"{src}(i,j,k-1) + {src}(i,j,k+1)"
+                lo = ("1", "1", "2")
+                hi = ("n", "n", "n-1")
+            procs.append(f"  do k = {lo[2]}, {hi[2]}")
+            procs.append(f"    do j = {lo[1]}, {hi[1]}")
+            procs.append(f"      do i = {lo[0]}, {hi[0]}")
+            procs.append(
+                f"        {dst}(i,j,k) = {dst}(i,j,k) + "
+                f"{coeff} * ({ref})"
+            )
+            procs.append("      end do")
+            procs.append("    end do")
+            procs.append("  end do")
+        procs.append("end")
+    # Grammar order: declarations, procedures, then the main body.
+    return "\n".join(header + procs + body + ["end"]) + "\n"
+
+
+def redblack() -> str:
+    """Red-black Gauss-Seidel relaxation (strided iteration sets).
+
+    Exercises constant loop steps end to end: iteration sets, communication
+    sets, and generated loops all carry stride (existential) constraints.
+    Parameters: ``n``, ``niter``.
+    """
+    return """
+program redblack
+  parameter n, niter
+  real a(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, n
+    a(i) = i * 0.5
+  end do
+  do iter = 1, niter
+    do i = 2, n - 1, 2
+      a(i) = 0.5 * (a(i-1) + a(i+1))
+    end do
+    do i = 3, n - 1, 2
+      a(i) = 0.5 * (a(i-1) + a(i+1))
+    end do
+  end do
+end
+"""

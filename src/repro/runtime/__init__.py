@@ -1,0 +1,30 @@
+"""Simulated message-passing runtime and cost model."""
+
+from .cost import CostModel, ReplayResult, replay, speedup_curve
+from .harness import (
+    RunOutcome,
+    ValidationError,
+    eval_lang_expr,
+    evaluate_bindings,
+    run_compiled,
+)
+from .machine import CommunicationError, Machine, NodeRuntime, RankResult
+from .trace import RunStatistics, Trace
+
+__all__ = [
+    "CommunicationError",
+    "CostModel",
+    "Machine",
+    "NodeRuntime",
+    "RankResult",
+    "ReplayResult",
+    "RunOutcome",
+    "RunStatistics",
+    "Trace",
+    "ValidationError",
+    "eval_lang_expr",
+    "evaluate_bindings",
+    "replay",
+    "run_compiled",
+    "speedup_curve",
+]

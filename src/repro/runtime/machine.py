@@ -1,0 +1,201 @@
+"""Simulated message-passing machine (the testbed substitute).
+
+Each rank runs the generated node program on its own thread with real MPI
+semantics: buffered (non-blocking) sends, blocking FIFO receives per
+channel, and tree collectives.  Correctness comes from this execution;
+predicted performance comes from replaying the recorded traces through
+:mod:`repro.runtime.cost`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .trace import Trace
+
+_RECV_TIMEOUT_S = 60.0
+
+
+class CommunicationError(RuntimeError):
+    """Deadlock, tag mismatch, or rank failure during an SPMD run."""
+
+
+class _Collective:
+    """Reusable rendezvous combining one value from every rank."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.lock = threading.Condition()
+        self.values: List[Any] = []
+        self.result: Any = None
+        self.generation = 0
+
+    def combine(self, value, op: Callable[[List[Any]], Any]):
+        with self.lock:
+            generation = self.generation
+            self.values.append(value)
+            if len(self.values) == self.nprocs:
+                self.result = op(self.values)
+                self.values = []
+                self.generation += 1
+                self.lock.notify_all()
+            else:
+                deadline = _RECV_TIMEOUT_S
+                if not self.lock.wait_for(
+                    lambda: self.generation != generation, timeout=deadline
+                ):
+                    raise CommunicationError("collective timed out")
+            return self.result
+
+
+class NodeRuntime:
+    """The API surface generated node programs run against."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        rank: int,
+        env: Dict[str, int],
+        arrays: Dict[str, np.ndarray],
+        lbounds: Dict[str, Tuple[int, ...]],
+        scalars: Dict[str, float],
+    ):
+        self.machine = machine
+        self.rank = rank
+        self.nprocs = machine.nprocs
+        self.env = env
+        self.arrays = arrays
+        self.lbounds = lbounds
+        self.scalars = scalars
+        self.trace = Trace(rank)
+        #: membership closures for guards the emitter could not express
+        #: inline; registered by the harness.
+        self.member_fns: List[Callable[..., bool]] = []
+        #: pre-nest values of '+'-reduction scalars.
+        self.red_base: Dict[str, float] = {}
+        #: runtime-evaluated in-place contiguity flags, by name.
+        self.inplace: Dict[str, bool] = {}
+
+    # -- communication ----------------------------------------------------------
+
+    def send(
+        self, dest: int, tag, values, indices=None, inplace: bool = False
+    ) -> None:
+        data = list(values)
+        nbytes = 8 * len(data)
+        self.trace.send(dest, tag, nbytes, 0 if inplace else nbytes)
+        self.machine.channel(self.rank, dest).put((tag, indices, data))
+
+    def recv(self, src: int, tag, inplace: bool = False):
+        """Returns ``(indices, values)`` for the next message from src."""
+        try:
+            got_tag, indices, data = self.machine.channel(
+                src, self.rank
+            ).get(timeout=_RECV_TIMEOUT_S)
+        except queue.Empty:
+            raise CommunicationError(
+                f"rank {self.rank} timed out receiving {tag!r} from {src}"
+            ) from None
+        if got_tag != tag:
+            raise CommunicationError(
+                f"rank {self.rank}: expected {tag!r} from {src}, "
+                f"got {got_tag!r}"
+            )
+        nbytes = 8 * len(data)
+        self.trace.recv(src, tag, nbytes, 0 if inplace else nbytes)
+        return indices, data
+
+    def allreduce(self, op: str, value: float) -> float:
+        self.trace.collective("allreduce", 8)
+        ops = {
+            "+": lambda vs: sum(vs),
+            "max": lambda vs: max(vs),
+            "min": lambda vs: min(vs),
+        }
+        return self.machine.collective.combine(value, ops[op])
+
+    def barrier(self) -> None:
+        self.trace.collective("barrier", 0)
+        self.machine.collective.combine(0, lambda vs: 0)
+
+    # -- accounting -----------------------------------------------------------------
+
+    def work(self, amount: float) -> None:
+        self.trace.compute(amount)
+
+    def check(self, count: int = 1) -> None:
+        self.trace.check(count)
+
+    def member(self, index: int, point, overrides=None) -> bool:
+        env = dict(self.env)
+        if overrides:
+            env.update(overrides)
+        return self.member_fns[index](env, point)
+
+
+@dataclass
+class RankResult:
+    rank: int
+    arrays: Dict[str, np.ndarray]
+    scalars: Dict[str, float]
+    trace: Trace
+    env: Dict[str, int]
+
+
+class Machine:
+    """Runs a node program on ``nprocs`` simulated processors."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self._channels: Dict[Tuple[int, int], queue.Queue] = {}
+        self._channel_lock = threading.Lock()
+        self.collective = _Collective(nprocs)
+
+    def channel(self, src: int, dest: int) -> queue.Queue:
+        key = (src, dest)
+        with self._channel_lock:
+            if key not in self._channels:
+                self._channels[key] = queue.Queue()
+            return self._channels[key]
+
+    def run(
+        self,
+        node_main: Callable[[NodeRuntime], None],
+        make_runtime: Callable[[int, "Machine"], NodeRuntime],
+    ) -> List[RankResult]:
+        """Execute ``node_main`` on every rank; returns per-rank results."""
+        runtimes = [make_runtime(rank, self) for rank in range(self.nprocs)]
+        errors: List[Optional[BaseException]] = [None] * self.nprocs
+
+        def runner(rank: int) -> None:
+            try:
+                node_main(runtimes[rank])
+            except BaseException as exc:  # surface to the caller
+                errors[rank] = exc
+
+        threads = [
+            threading.Thread(target=runner, args=(rank,), daemon=True)
+            for rank in range(self.nprocs)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600.0)
+            if thread.is_alive():
+                raise CommunicationError("SPMD run did not terminate")
+        for rank, error in enumerate(errors):
+            if error is not None:
+                raise CommunicationError(
+                    f"rank {rank} failed: {error!r}"
+                ) from error
+        return [
+            RankResult(
+                rt.rank, rt.arrays, rt.scalars, rt.trace, rt.env
+            )
+            for rt in runtimes
+        ]

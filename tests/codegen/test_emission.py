@@ -1,0 +1,134 @@
+"""Unit tests for Python-source emission and generated-module structure."""
+
+from repro import CompilerOptions, compile_program
+from repro.codegen.pyexpr import (
+    SourceWriter,
+    emit_conjunct_guard,
+    emit_linexpr,
+    emit_set_guard,
+)
+from repro.isets import LinExpr, parse_set
+
+STENCIL = """
+program s
+  parameter n
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 2, n - 1
+    a(i) = b(i-1) + b(i+1)
+  end do
+end
+"""
+
+
+class TestPyExpr:
+    def test_emit_linexpr(self):
+        expr = LinExpr({"i": 2, "j": -1}, 3)
+        text = emit_linexpr(expr)
+        assert eval(text, {"i": 5, "j": 4}) == 9
+
+    def test_emit_linexpr_rename(self):
+        expr = LinExpr({"i_cur": 1}, 0)
+        text = emit_linexpr(expr, {"i_cur": "i"})
+        assert "i_cur" not in text
+
+    def test_constant_expr(self):
+        assert eval(emit_linexpr(LinExpr.const(-4))) == -4
+
+    def test_conjunct_guard_plain(self):
+        conjunct = parse_set("{[i] : 2 <= i <= 8}").conjuncts[0]
+        guard = emit_conjunct_guard(conjunct)
+        assert eval(guard, {"i": 5})
+        assert not eval(guard, {"i": 9})
+
+    def test_conjunct_guard_stride(self):
+        conjunct = parse_set(
+            "{[i] : exists(a : i = 3a + 1) and 1 <= i <= 20}"
+        ).conjuncts[0]
+        guard = emit_conjunct_guard(conjunct)
+        assert eval(guard, {"i": 7})
+        assert not eval(guard, {"i": 8})
+
+    def test_set_guard_union(self):
+        subset = parse_set("{[i] : i = 1 or i = 4}")
+        guard = emit_set_guard(subset)
+        assert eval(guard, {"i": 4}) and not eval(guard, {"i": 3})
+
+    def test_empty_set_guard(self):
+        assert emit_set_guard(parse_set("{[i] : 1 <= i <= 0}")) == "False"
+
+    def test_source_writer_indentation(self):
+        writer = SourceWriter()
+        writer.line("def f():")
+        writer.push()
+        writer.line("return 1")
+        writer.pop()
+        text = writer.text()
+        namespace = {}
+        exec(text, namespace)
+        assert namespace["f"]() == 1
+
+
+class TestGeneratedModule:
+    def test_module_is_valid_python(self):
+        compiled = compile_program(STENCIL)
+        compile(compiled.source, "<generated>", "exec")
+
+    def test_module_structure(self):
+        compiled = compile_program(STENCIL)
+        source = compiled.source
+        assert "def node_main(rt):" in source
+        assert "def proc_main(rt):" in source
+        assert "rt.send(" in source and "rt.recv(" in source
+        assert "rt.work(" in source
+        # partitioned bounds reference myid's (VP) coordinate
+        assert "my_p_0" in source
+
+    def test_no_dollar_names_leak(self):
+        """Fresh internal names contain '$' and must never be emitted."""
+        for options in (
+            CompilerOptions(),
+            CompilerOptions(coalesce=False),
+            CompilerOptions(inplace=False),
+            CompilerOptions(loop_split=True, buffer_mode="direct"),
+        ):
+            compiled = compile_program(STENCIL, options)
+            assert "$" not in compiled.source.replace("B_t_0", ""), (
+                "internal wildcard name leaked into generated source"
+            )
+
+    def test_procedures_emitted_separately(self):
+        src = """
+program multi
+  real a(10)
+  processors p(2)
+  template t(10)
+  align a(i) with t(i)
+  distribute t(block) onto p
+  procedure init
+  do i = 1, 10
+    a(i) = i
+  end do
+  end
+  call init
+end
+"""
+        compiled = compile_program(src)
+        assert "def proc_init(rt):" in compiled.source
+        assert "proc_init(rt)" in compiled.source
+
+    def test_listing_mentions_events(self):
+        compiled = compile_program(STENCIL)
+        assert "communication event" in compiled.source
+
+    def test_reduction_emits_allreduce(self):
+        src = STENCIL.replace(
+            "    a(i) = b(i-1) + b(i+1)",
+            "    a(i) = b(i-1) + b(i+1)\n    s = max(s, a(i))",
+        ).replace("  do i = 2", "  scalar s\n  do i = 2")
+        compiled = compile_program(src)
+        assert "rt.allreduce('max'" in compiled.source

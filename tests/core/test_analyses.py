@@ -1,0 +1,219 @@
+"""Unit tests for CP resolution, dependence analysis, and event placement."""
+
+from repro.core.context import collect_contexts
+from repro.core.cp import recognize_reduction, resolve_cp
+from repro.core.depend import (
+    carried_into,
+    dependence_level,
+    loop_independent_dependence,
+)
+from repro.core.events import build_events, is_potentially_nonlocal
+from repro.hpf import DataMapping
+from repro.isets import enumerate_points, parse_set
+from repro.lang import parse_program
+
+
+def _analyze(src):
+    program = parse_program(src)
+    mapping = DataMapping(program)
+    contexts = collect_contexts(program, program.main)
+    cps = [resolve_cp(mapping, c) for c in contexts]
+    return program, mapping, contexts, cps
+
+
+STENCIL = """
+program s
+  parameter n
+  real a(n), b(n)
+  processors p(4)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do iter = 1, 10
+    do i = 2, n - 1
+      a(i) = b(i-1) + b(i+1)
+    end do
+    do i = 2, n - 1
+      b(i) = a(i)
+    end do
+  end do
+end
+"""
+
+
+class TestCP:
+    def test_owner_computes_default(self):
+        _, mapping, contexts, cps = _analyze(STENCIL)
+        cp = cps[0]
+        assert not cp.replicated
+        assert cp.terms[0].array == "a"
+
+    def test_explicit_on_home_overrides(self):
+        src = STENCIL.replace(
+            "      a(i) = b(i-1) + b(i+1)",
+            "      on_home b(i)\n      a(i) = b(i-1) + b(i+1)",
+        )
+        _, mapping, contexts, cps = _analyze(src)
+        assert cps[0].terms[0].array == "b"
+
+    def test_on_home_union_cp_map(self):
+        src = """
+program u
+  real a(100), b(100)
+  processors p(4)
+  template t(100)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, 100
+    on_home a(i) union b(i+1)
+    a(i) = b(i)
+  end do
+end
+"""
+        _, mapping, contexts, cps = _analyze(src)
+        # union CP: both a(i)'s owner and b(i+1)'s owner execute i.
+        cp_map = cps[0].cp_map
+        # block(100, P=4): i=25 owned by p0 via a, i+1=26 by p1 via b.
+        executors = enumerate_points(
+            cp_map.restrict_range(parse_set("{[i] : i = 25}")).domain()
+        )
+        assert executors == [(0,), (1,)]
+
+    def test_scalar_assign_is_replicated(self):
+        src = STENCIL.replace(
+            "  do iter = 1, 10",
+            "  scalar s\n  s = 1.0\n  do iter = 1, 10",
+        )
+        _, mapping, contexts, cps = _analyze(src)
+        assert cps[0].replicated
+
+    def test_reduction_recognition(self):
+        src = STENCIL.replace(
+            "      b(i) = a(i)",
+            "      b(i) = a(i)\n      s = max(s, a(i))",
+        ).replace("  do iter", "  scalar s\n  do iter")
+        program, mapping, contexts, cps = _analyze(src)
+        reductions = [cp for cp in cps if cp.reduction]
+        assert len(reductions) == 1
+        assert reductions[0].reduction == "max"
+        assert not reductions[0].replicated  # partitioned like a's owner
+
+    def test_plus_reduction(self):
+        assert recognize_reduction  # imported
+        src = STENCIL.replace(
+            "      b(i) = a(i)",
+            "      b(i) = a(i)\n      s = s + a(i)",
+        ).replace("  do iter", "  scalar s\n  do iter")
+        _, _, _, cps = _analyze(src)
+        assert any(cp.reduction == "+" for cp in cps)
+
+
+class TestDependence:
+    def test_carried_dependence_level(self):
+        program, mapping, contexts, cps = _analyze(STENCIL)
+        write_ctx = contexts[1]  # b(i) = a(i)
+        read_ctx = contexts[0]   # reads b(i-1)
+        write_ref = write_ctx.write_ref()
+        read_ref = [r for r in read_ctx.references() if not r.is_write][0]
+        layout = mapping.layout("b")
+        level = dependence_level(
+            write_ctx, write_ref, read_ctx, read_ref, layout, 1
+        )
+        assert level == 0  # carried by the iter loop
+
+    def test_no_dependence_between_different_arrays(self):
+        program, mapping, contexts, cps = _analyze(STENCIL)
+        a_write = contexts[0].write_ref()
+        b_read = [r for r in contexts[0].references() if not r.is_write][0]
+        assert dependence_level(
+            contexts[0], a_write, contexts[0], b_read,
+            mapping.layout("a"), 2,
+        ) is None
+
+    def test_loop_independent_dependence(self):
+        program, mapping, contexts, cps = _analyze(STENCIL)
+        # a written in nest 1, read in nest 2 at the same iter: independent
+        a_write = contexts[0].write_ref()
+        a_read = [
+            r for r in contexts[1].references() if not r.is_write
+        ][0]
+        assert loop_independent_dependence(
+            contexts[0], a_write, contexts[1], a_read,
+            mapping.layout("a"), 1,
+        )
+
+    def test_deepest_carrying_level_for_recurrence(self):
+        src = """
+program r
+  parameter n, nz
+  real d(n,nz)
+  processors p(4)
+  template t(n,nz)
+  align d(i,k) with t(i,k)
+  distribute t(*, block) onto p
+  do iter = 1, 4
+    do k = 2, nz
+      do i = 1, n
+        d(i,k) = d(i,k) - 0.5 * d(i,k-1)
+      end do
+    end do
+  end do
+end
+"""
+        program, mapping, contexts, cps = _analyze(src)
+        ctx = contexts[0]
+        write = ctx.write_ref()
+        read = [
+            r for r in ctx.references()
+            if not r.is_write and r.subscripts[1].constant == -1
+        ][0]
+        # carried by k (level 1), not just iter (level 0)
+        assert carried_into(
+            ctx, write, ctx, read, mapping.layout("d"), 3
+        ) == 2
+
+
+class TestEvents:
+    def test_nonlocal_detection(self):
+        program, mapping, contexts, cps = _analyze(STENCIL)
+        read_refs = [
+            r for r in contexts[0].references() if not r.is_write
+        ]
+        layout = mapping.layout("b")
+        assert is_potentially_nonlocal(cps[0], read_refs[0], layout)
+        a_write = contexts[0].write_ref()
+        assert not is_potentially_nonlocal(
+            cps[0], a_write, mapping.layout("a")
+        )
+
+    def test_events_coalesced_per_array_and_anchor(self):
+        program, mapping, contexts, cps = _analyze(STENCIL)
+        events = build_events(mapping, cps, coalesce=True)
+        assert len(events) == 1  # both b reads coalesce into one event
+        assert len(events[0].event.refs) == 2
+        assert events[0].level == 1  # inside iter (carried by iter)
+
+    def test_coalescing_disabled_splits_events(self):
+        program, mapping, contexts, cps = _analyze(STENCIL)
+        events = build_events(mapping, cps, coalesce=False)
+        assert len(events) == 2
+
+    def test_local_program_has_no_events(self):
+        src = """
+program local
+  parameter n
+  real a(n), b(n)
+  processors p(4)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, n
+    a(i) = b(i) * 2
+  end do
+end
+"""
+        program, mapping, contexts, cps = _analyze(src)
+        assert build_events(mapping, cps) == []

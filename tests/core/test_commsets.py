@@ -1,0 +1,153 @@
+"""Unit tests for the Figure 3 communication-set equations."""
+
+from repro.core.commsets import compute_comm_sets
+from repro.core.context import collect_contexts
+from repro.core.cp import resolve_cp
+from repro.core.events import build_events
+from repro.hpf import DataMapping
+from repro.isets import count_points, enumerate_points, parse_set
+from repro.lang import parse_program
+
+
+def _comm_sets(src):
+    program = parse_program(src)
+    mapping = DataMapping(program)
+    contexts = collect_contexts(program, program.main)
+    cps = [resolve_cp(mapping, c) for c in contexts]
+    events = build_events(mapping, cps)
+    return mapping, [
+        (event, compute_comm_sets(event.event)) for event in events
+    ]
+
+
+SHIFT = """
+program shift
+  real a(100), b(100)
+  processors p(4)
+  template t(100)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 2, 100
+    a(i) = b(i-1)
+  end do
+end
+"""
+
+
+class TestShiftPattern:
+    def test_send_is_boundary_element(self):
+        mapping, results = _comm_sets(SHIFT)
+        (event, sets), = results
+        # proc 1 (owns 26..50) sends b(50) to proc 2
+        send = sets.send_comm_map.partial_evaluate({"my_p_0": 1})
+        pairs = [
+            (p, b)
+            for (p,) in enumerate_points(send.domain())
+            for (b,) in enumerate_points(
+                send.fix_input({send.in_dims[0]: p}).range()
+            )
+        ]
+        assert pairs == [(2, 50)]
+
+    def test_recv_is_neighbor_boundary(self):
+        mapping, results = _comm_sets(SHIFT)
+        (event, sets), = results
+        recv = sets.recv_comm_map.partial_evaluate({"my_p_0": 2})
+        points = enumerate_points(recv.range())
+        assert points == [(50,)]
+
+    def test_nl_data_set_matches_definition(self):
+        mapping, results = _comm_sets(SHIFT)
+        (event, sets), = results
+        # proc 0 owns 1..25, reads b(1..99) restricted to its iterations:
+        # reads b(i-1) for i in 26..50 → wait, proc 0 executes i in 2..25,
+        # reading b(1..24): all local → empty for p0; p1 reads b(25) nonloc.
+        nl = sets.nl_data_set["read"]
+        assert enumerate_points(
+            nl.partial_evaluate({"my_p_0": 0})
+        ) == []
+        assert enumerate_points(
+            nl.partial_evaluate({"my_p_0": 1})
+        ) == [(25,)]
+
+    def test_first_processor_receives_nothing(self):
+        mapping, results = _comm_sets(SHIFT)
+        (event, sets), = results
+        recv = sets.recv_comm_map.partial_evaluate({"my_p_0": 0})
+        assert recv.is_empty()
+
+    def test_last_processor_sends_nothing(self):
+        mapping, results = _comm_sets(SHIFT)
+        (event, sets), = results
+        send = sets.send_comm_map.partial_evaluate({"my_p_0": 3})
+        assert send.is_empty()
+
+
+class TestCoalescedStencil:
+    SRC = """
+program st
+  real a(100), b(100)
+  processors p(4)
+  template t(100)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 2, 99
+    a(i) = b(i-1) + b(i+1) + b(i)
+  end do
+end
+"""
+
+    def test_single_event_both_directions(self):
+        mapping, results = _comm_sets(self.SRC)
+        assert len(results) == 1
+        (event, sets), = results
+        send = sets.send_comm_map.partial_evaluate({"my_p_0": 1})
+        # proc 1 sends b(26) left and b(50) right
+        sent = sorted(
+            enumerate_points(send.range())
+        )
+        assert sent == [(26,), (50,)]
+
+    def test_no_self_communication(self):
+        mapping, results = _comm_sets(self.SRC)
+        (event, sets), = results
+        send = sets.send_comm_map
+        # the partner dim can never equal my_p_0
+        diag = send.constrain(
+            parse_set("{[q] : q = my_p_0}")
+            .conjuncts[0].constraints
+        ) if False else None
+        send_fixed = send.partial_evaluate({"my_p_0": 1})
+        partners = enumerate_points(send_fixed.domain())
+        assert (1,) not in partners
+
+
+class TestNonOwnerComputesWrites:
+    SRC = """
+program w
+  real a(100), b(100)
+  processors p(4)
+  template t(100)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, 99
+    on_home b(i)
+    a(i+1) = b(i)
+  end do
+end
+"""
+
+    def test_write_updates_flow_to_owner(self):
+        mapping, results = _comm_sets(self.SRC)
+        (event, sets), = results
+        assert event.when == "after"
+        # executor of i=25 is owner of b(25) = p0; it writes a(26) owned
+        # by p1: p0 sends a(26) to p1.
+        send = sets.send_comm_map.partial_evaluate({"my_p_0": 0})
+        points = enumerate_points(send.range())
+        assert points == [(26,)]
+        recv = sets.recv_comm_map.partial_evaluate({"my_p_0": 1})
+        assert (26,) in enumerate_points(recv.range())

@@ -1,0 +1,100 @@
+"""Reproduction of the paper's Figure 2: primitive sets and mappings.
+
+The program fragment, its layouts, the CP map for the ON_HOME directive,
+and the executing processor's iteration set are checked against the values
+printed in the paper (modulo the 0-based processor numbering we share with
+it: ``0 <= p <= 3``).
+"""
+
+from repro.core.context import collect_contexts
+from repro.core.cp import resolve_cp
+from repro.hpf import DataMapping
+from repro.isets import enumerate_points, parse_map, parse_set
+from repro.lang import parse_program
+
+FIGURE2 = """
+program fig2
+  parameter n
+  real a(0:99,100), b(100,100)
+  processors p(4)
+  template t(100,100)
+  align a(i,j) with t(i+1,j)
+  align b(i,j) with t(*,i)
+  distribute t(*,block) onto p
+  do i = 1, n
+    do j = 2, n+1
+      on_home b(j-1,i)
+      a(i,j) = b(j-1,i)
+    end do
+  end do
+end
+"""
+
+
+def setup_module(module):
+    module.program = parse_program(FIGURE2)
+    module.mapping = DataMapping(module.program)
+    module.contexts = collect_contexts(module.program, module.program.main)
+    module.cp = resolve_cp(module.mapping, module.contexts[0])
+
+
+def test_layout_a_matches_paper():
+    # Paper: Layout_A = {[p] -> [a1,a2] : max(25p+1,1) <= a2 <= ...}
+    # (the distributed template dim is t2 = j = a2; t1 = a1 + 1 collapsed).
+    expected = parse_map(
+        "{[p] -> [a1,a2] : 0 <= a1 <= 99 and "
+        "25p + 1 <= a2 <= 25p + 25 and 1 <= a2 <= 100 and 0 <= p <= 3}"
+    )
+    assert mapping.layout("a").map.is_equal(expected)
+
+
+def test_layout_b_matches_paper():
+    # Paper: Layout_B = {[p] -> [b1,b2] : max(25p+1,1) <= b1 <= ... ,
+    #                    1 <= b2 <= 100}
+    expected = parse_map(
+        "{[p] -> [b1,b2] : 25p + 1 <= b1 <= 25p + 25 and "
+        "1 <= b1 <= 100 and 1 <= b2 <= 100 and 0 <= p <= 3}"
+    )
+    assert mapping.layout("b").map.is_equal(expected)
+
+
+def test_loop_set_matches_paper():
+    # Paper: loop = {[l1,l2] : 1 <= l1 <= N and 2 <= l2 <= N+1}
+    iteration = contexts[0].iteration_set()
+    expected = parse_set("{[l1,l2] : 1 <= l1 <= n and 2 <= l2 <= n + 1}")
+    assert iteration.is_equal(expected)
+
+
+def test_cp_ref_is_on_home_term():
+    assert str(cp.terms[0].ref) == "b((j - 1),i)"
+
+
+def test_cp_map_matches_paper():
+    # Paper: CPMap = {[p] -> [l1,l2] : 1 <= l1 <= min(N,100) and
+    #                 max(2, 25p+2) <= l2 <= min(N+1, 101, 25p+26)}
+    expected = parse_map(
+        "{[p] -> [l1,l2] : 1 <= l1 <= n and l1 <= 100 and "
+        "2 <= l2 <= n + 1 and l2 <= 101 and "
+        "25p + 2 <= l2 <= 25p + 26 and 0 <= p <= 3}"
+    )
+    assert cp.cp_map.is_equal(expected)
+
+
+def test_processor_zero_iterations_concrete():
+    # For N = 50, processor 0 executes l2 in 2..26, l1 in 1..50.
+    iters = cp.cp_map.fix_input({cp.cp_map.in_dims[0]: 0}).range()
+    points = enumerate_points(iters, {"n": 50})
+    l1_values = sorted({l1 for l1, _ in points})
+    l2_values = sorted({l2 for _, l2 in points})
+    assert l1_values == list(range(1, 51))
+    assert l2_values == list(range(2, 27))
+
+
+def test_local_iterations_parameterized_by_my_symbol():
+    local = cp.local_iterations()
+    assert "my_p_0" in local.parameters()
+    points = enumerate_points(
+        local.partial_evaluate({"my_p_0": 3}), {"n": 100}
+    )
+    l2_values = sorted({l2 for _, l2 in points})
+    assert l2_values == list(range(77, 102))  # min(N+1,101,25p+26)

@@ -1,0 +1,94 @@
+"""Unit tests for in-place communication recognition (§3.3)."""
+
+from repro.core.inplace import analyze_contiguity, evaluate_at_runtime
+from repro.isets import Answer, parse_set
+
+ARRAY_2D = parse_set("{[i,j] : 1 <= i <= 10 and 1 <= j <= 10}")
+
+
+def test_full_column_block_is_contiguous():
+    # dims leftmost-fastest (column major): full range in dim 0,
+    # convex range in dim 1 → contiguous.
+    comm = parse_set("{[i,j] : 1 <= i <= 10 and 3 <= j <= 5}")
+    result = analyze_contiguity(comm, ARRAY_2D)
+    assert result.answer is Answer.TRUE
+    assert result.pivot_dim == 1
+
+
+def test_partial_rows_not_contiguous():
+    # partial range in dim 0 with several dim-1 values: not contiguous
+    comm = parse_set("{[i,j] : 2 <= i <= 4 and 3 <= j <= 5}")
+    result = analyze_contiguity(comm, ARRAY_2D)
+    assert result.answer is Answer.FALSE
+
+
+def test_partial_row_single_column_is_contiguous():
+    comm = parse_set("{[i,j] : 2 <= i <= 4 and j = 5}")
+    result = analyze_contiguity(comm, ARRAY_2D)
+    assert result.answer is Answer.TRUE
+    assert result.pivot_dim == 0
+
+
+def test_single_element():
+    comm = parse_set("{[i,j] : i = 2 and j = 5}")
+    assert analyze_contiguity(comm, ARRAY_2D).answer is Answer.TRUE
+
+
+def test_whole_array():
+    assert analyze_contiguity(ARRAY_2D, ARRAY_2D).answer is Answer.TRUE
+
+
+def test_empty_set_contiguous():
+    comm = parse_set("{[i,j] : i >= 2 and i <= 1}")
+    assert analyze_contiguity(comm, ARRAY_2D).answer is Answer.TRUE
+
+
+def test_strided_column_not_contiguous():
+    comm = parse_set(
+        "{[i,j] : 1 <= i <= 10 and 2 <= j <= 8 and exists(a : j = 2a)}"
+    )
+    result = analyze_contiguity(comm, ARRAY_2D)
+    assert result.answer is Answer.FALSE
+
+
+def test_symbolic_runtime_check():
+    array = parse_set("{[i,j] : 1 <= i <= n and 1 <= j <= n}")
+    comm = parse_set("{[i,j] : lo <= i <= n and j = 5 and 1 <= i}")
+    result = analyze_contiguity(comm, array)
+    assert result.answer is Answer.UNKNOWN
+    assert result.runtime_checks
+    # at runtime with lo = 1 the set spans the full first dim: contiguous
+    assert evaluate_at_runtime(result, {"lo": 1, "n": 10})
+    # with lo = 3 it is a partial range but single column: also contiguous
+    assert evaluate_at_runtime(result, {"lo": 3, "n": 10})
+
+
+def test_symbolic_runtime_check_fails():
+    array = parse_set("{[i,j] : 1 <= i <= n and 1 <= j <= n}")
+    comm = parse_set(
+        "{[i,j] : lo <= i <= n and 3 <= j <= 4 and 1 <= i}"
+    )
+    result = analyze_contiguity(comm, array)
+    assert result.answer is Answer.UNKNOWN
+    # lo = 2, n = 10: partial rows, two columns → not in place
+    assert not evaluate_at_runtime(result, {"lo": 2, "n": 10})
+    # lo = 1: full first dim, convex second → in place
+    assert evaluate_at_runtime(result, {"lo": 1, "n": 10})
+
+
+def test_multi_conjunct_defers_to_runtime():
+    comm = parse_set("{[i,j] : i = 1 and j = 1 or i = 2 and j = 2}")
+    result = analyze_contiguity(comm, ARRAY_2D)
+    assert result.answer is Answer.UNKNOWN
+
+
+def test_3d_pivot_middle():
+    array = parse_set(
+        "{[i,j,k] : 1 <= i <= 4 and 1 <= j <= 4 and 1 <= k <= 4}"
+    )
+    comm = parse_set(
+        "{[i,j,k] : 1 <= i <= 4 and 2 <= j <= 3 and k = 2}"
+    )
+    result = analyze_contiguity(comm, array)
+    assert result.answer is Answer.TRUE
+    assert result.pivot_dim == 1

@@ -1,0 +1,162 @@
+"""Unit tests for data-mapping semantics (layouts, distributions, VP)."""
+
+import pytest
+
+from repro.hpf import (
+    DataMapping,
+    PHYS_BLOCK,
+    PHYS_CYCLIC,
+    PHYS_CYCLIC_K,
+    VP_BLOCK,
+    VP_CYCLIC,
+    VP_CYCLIC_K,
+)
+from repro.isets import enumerate_points, parse_set
+from repro.lang import SemanticError, parse_program
+
+
+def _mapping(dist, procs="p(4)", array="a(100)", template="t(100)",
+             align="align a(i) with t(i)"):
+    src = (
+        f"program x\nreal {array}\nprocessors {procs}\n"
+        f"template {template}\n{align}\n"
+        f"distribute {dist} onto p\nend\n"
+    )
+    return DataMapping(parse_program(src))
+
+
+class TestBlock:
+    def test_exact_block_sections(self):
+        mapping = _mapping("t(block)")
+        layout = mapping.layout("a")
+        assert layout.ownerships[0].kind == PHYS_BLOCK
+        owned = enumerate_points(
+            layout.map.fix_input({"p_0": 1}).range()
+        )
+        assert owned[0] == (26,) and owned[-1] == (50,)
+
+    def test_uneven_block(self):
+        mapping = _mapping("t(block)", procs="p(3)")
+        layout = mapping.layout("a")
+        # ceil(100/3) = 34: proc 2 owns 69..100
+        owned = enumerate_points(layout.map.fix_input({"p_0": 2}).range())
+        assert owned[0] == (69,) and owned[-1] == (100,)
+
+    def test_symbolic_procs_become_vp_block(self):
+        mapping = _mapping("t(block)", procs="p(nprocs)")
+        layout = mapping.layout("a")
+        assert layout.ownerships[0].kind == VP_BLOCK
+        assert not layout.ownerships[0].needs_vp_loops
+
+    def test_symbolic_extent_becomes_vp_block(self):
+        src = (
+            "program x\nparameter n\nreal a(n)\nprocessors p(4)\n"
+            "template t(n)\nalign a(i) with t(i)\n"
+            "distribute t(block) onto p\nend\n"
+        )
+        mapping = DataMapping(parse_program(src))
+        assert mapping.layout("a").ownerships[0].kind == VP_BLOCK
+
+
+class TestCyclic:
+    def test_exact_cyclic(self):
+        mapping = _mapping("t(cyclic)")
+        layout = mapping.layout("a")
+        assert layout.ownerships[0].kind == PHYS_CYCLIC
+        owned = enumerate_points(layout.map.fix_input({"p_0": 1}).range())
+        assert owned[:3] == [(2,), (6,), (10,)]
+
+    def test_symbolic_cyclic_is_vp(self):
+        mapping = _mapping("t(cyclic)", procs="p(nprocs)")
+        layout = mapping.layout("a")
+        assert layout.ownerships[0].kind == VP_CYCLIC
+        assert layout.ownerships[0].needs_vp_loops
+        # elementwise: VP v owns exactly template element v
+        owned = enumerate_points(layout.map.fix_input({"p_0": 42}).range())
+        assert owned == [(42,)]
+
+    def test_cyclic_k_exact_residue_blocks(self):
+        mapping = _mapping("t(cyclic(3))", procs="p(2)")
+        layout = mapping.layout("a")
+        assert layout.ownerships[0].kind == PHYS_CYCLIC_K
+        owned = enumerate_points(layout.map.fix_input({"p_0": 0}).range())
+        assert (1,) in owned and (3,) in owned
+        assert (4,) not in owned and (7,) in owned
+
+    def test_cyclic_k_symbolic_is_vp(self):
+        mapping = _mapping("t(cyclic(3))", procs="p(nprocs)")
+        assert mapping.layout("a").ownerships[0].kind == VP_CYCLIC_K
+
+    def test_symbolic_k_rejected(self):
+        with pytest.raises(SemanticError):
+            _mapping("t(cyclic(kk))", procs="p(nprocs)")
+
+
+class TestAlignment:
+    def test_offset_alignment_shifts_sections(self):
+        # paper Figure 2: align a(i,j) with t(i+1, j), distribute (*, block)
+        src = """
+program fig2
+  real a(0:99,100), b(100,100)
+  processors p(4)
+  template t(100,100)
+  align a(i,j) with t(i+1,j)
+  align b(i,j) with t(*,i)
+  distribute t(*,block) onto p
+end
+"""
+        mapping = DataMapping(parse_program(src))
+        layout_a = mapping.layout("a")
+        owned = enumerate_points(layout_a.map.fix_input({"p_0": 0}).range())
+        firsts = sorted({second for _, second in owned})
+        assert firsts == list(range(1, 26))  # a's 2nd dim = t2 in 1..25
+        rows = sorted({first for first, _ in owned})
+        assert rows == list(range(0, 100))  # full first dim
+
+    def test_star_align_replicates(self):
+        src = """
+program x
+  real a(10,10)
+  processors p(4)
+  template t(10)
+  align a(i,j) with t(*)
+  distribute t(block) onto p
+end
+"""
+        mapping = DataMapping(parse_program(src))
+        layout = mapping.layout("a")
+        assert layout.is_fully_replicated() or layout.replicated_dims
+
+    def test_unaligned_array_fully_replicated(self):
+        src = (
+            "program x\nreal a(10)\nprocessors p(4)\ntemplate t(10)\n"
+            "distribute t(block) onto p\nend\n"
+        )
+        mapping = DataMapping(parse_program(src))
+        assert mapping.layout("a").is_fully_replicated()
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(SemanticError):
+            _mapping("t(block)", align="align a(i,j) with t(i)")
+
+
+class TestLocalSet:
+    def test_local_set_uses_my_symbols(self):
+        mapping = _mapping("t(block)")
+        local = mapping.layout("a").local_set()
+        assert "my_p_0" in local.parameters()
+        concrete = local.partial_evaluate({"my_p_0": 0})
+        points = enumerate_points(concrete)
+        assert points[0] == (1,) and points[-1] == (25,)
+
+
+def test_no_processors_rejected():
+    with pytest.raises(SemanticError):
+        DataMapping(parse_program("program x\nreal a(5)\nend\n"))
+
+
+def test_runtime_bindings_include_grid_and_block():
+    mapping = _mapping("t(block)", procs="p(nprocs)")
+    symbols = [b.symbol for b in mapping.runtime_bindings()]
+    assert "my_p_0" in symbols
+    assert any(s.startswith("B_t_") for s in symbols)

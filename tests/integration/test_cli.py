@@ -1,0 +1,87 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+PROGRAM = """
+program cli
+  parameter n
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, n
+    b(i) = i
+    a(i) = 0.0
+  end do
+  do i = 2, n - 1
+    a(i) = b(i-1) + b(i+1)
+  end do
+end
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.hpf"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+def test_compile_listing(program_file, capsys):
+    assert main(["compile", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "ON_HOME a(i)" in out and "event main_ev0" in out
+
+
+def test_compile_source(program_file, capsys):
+    assert main(["compile", program_file, "--source"]) == 0
+    out = capsys.readouterr().out
+    assert "def node_main(rt):" in out
+
+
+def test_compile_phases(program_file, capsys):
+    assert main(["compile", program_file, "--phases"]) == 0
+    assert "partitioning" in capsys.readouterr().out
+
+
+def test_run_validates(program_file, capsys):
+    code = main([
+        "run", program_file, "--nprocs", "3", "--param", "n=17",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "validation: OK" in out
+    assert "messages:" in out
+
+
+def test_run_with_options(program_file, capsys):
+    code = main([
+        "run", program_file, "--nprocs", "2", "--param", "n=17",
+        "--no-coalesce", "--loop-split", "--buffer-mode", "direct",
+    ])
+    assert code == 0
+    assert "validation: OK" in capsys.readouterr().out
+
+
+def test_sets_enumeration(capsys):
+    code = main([
+        "sets", "{[i] : 1 <= i <= 9 and exists(a : i = 2a)}",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "4 point(s):" in out
+
+
+def test_sets_with_params(capsys):
+    code = main(["sets", "{[i] : 1 <= i <= n}", "--param", "n=3"])
+    assert code == 0
+    assert "3 point(s):" in capsys.readouterr().out
+
+
+def test_bad_param_rejected(program_file):
+    with pytest.raises(SystemExit):
+        main(["run", program_file, "--param", "oops"])

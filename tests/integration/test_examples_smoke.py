@@ -1,0 +1,40 @@
+"""Smoke tests: the lightweight example scripts run to completion."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+def test_figure2_example_matches_paper_objects():
+    output = _run("figure2_sets.py")
+    assert "Layout_A" in output
+    assert "CPMap" in output
+    # the distributed section boundary 25p shows up in the printed sets
+    assert "25p" in output.replace("25p_0", "25p")
+
+
+def test_compiler_listing_example():
+    output = _run("compiler_listing.py")
+    assert "COMPILATION LISTING" in output
+    assert "GENERATED SPMD NODE PROGRAM" in output
+    assert "def node_main(rt):" in output
+
+
+@pytest.mark.slow
+def test_gauss_example():
+    output = _run("gauss_active_vps.py")
+    assert "activeSendVPSet" in output
+    assert "validated" in output

@@ -1,0 +1,83 @@
+"""Unit tests for bound extraction and relaxed projection."""
+
+from repro.isets import LinExpr, parse_set
+from repro.isets.bounds import (
+    SymbolicBound,
+    extract_bounds,
+    ground_range,
+    inequality_projection,
+    relax_equalities,
+)
+
+
+def _conj(text):
+    return parse_set(text).conjuncts[0]
+
+
+def test_relax_equalities_doubles():
+    c = _conj("{[i] : i = 5}")
+    relaxed = relax_equalities(c.constraints)
+    assert len(relaxed) == 2
+    assert all(not r.is_equality for r in relaxed)
+
+
+def test_ground_range_simple():
+    c = _conj("{[i] : 2 <= i <= 9}")
+    assert ground_range(c, "i") == (2, 9)
+
+
+def test_ground_range_through_other_vars():
+    c = _conj("{[i,j] : 1 <= j <= 5 and j <= i <= j + 2}")
+    assert ground_range(c, "i") == (1, 7)
+
+
+def test_ground_range_with_stride_witness():
+    c = _conj("{[i] : exists(a : i = 2a) and 1 <= i <= 9}")
+    lo, hi = ground_range(c, "i")
+    assert lo <= 2 and hi >= 8
+
+
+def test_ground_range_unbounded():
+    c = _conj("{[i] : i >= 0}")
+    assert ground_range(c, "i") == (0, None)
+    c2 = _conj("{[i] : i >= n}")
+    assert ground_range(c2, "i") == (None, None)
+
+
+def test_ground_range_divisor_tightening():
+    # 3i >= 7 → i >= ceil(7/3) = 3;  3i <= 11 → i <= 3
+    c = _conj("{[i] : 7 <= 3i and 3i <= 11}")
+    assert ground_range(c, "i") == (3, 3)
+
+
+def test_inequality_projection_keeps_only_requested():
+    c = _conj("{[i,j] : 1 <= i <= 10 and i <= j <= 12}")
+    constraints = inequality_projection(c, {"j"})
+    names = {v for con in constraints for v in con.variables()}
+    assert names == {"j"}
+
+
+def test_symbolic_bound_evaluation():
+    lower = SymbolicBound(LinExpr.var("n") + 1, 2, True)
+    assert lower.evaluate({"n": 4}) == 3  # ceil(5/2)
+    upper = SymbolicBound(LinExpr.var("n") + 1, 2, False)
+    assert upper.evaluate({"n": 4}) == 2  # floor(5/2)
+    assert SymbolicBound(LinExpr.const(7), 1, True).ground_value() == 7
+
+
+def test_extract_bounds_splits_sides():
+    c = _conj("{[i,j] : 2i >= j and 3i <= j + 12 and 0 <= j}")
+    lowers, uppers, rest = extract_bounds(c.constraints, "i")
+    assert len(lowers) == 1 and lowers[0].divisor == 2
+    assert len(uppers) == 1 and uppers[0].divisor == 3
+    assert len(rest) == 1
+
+
+def test_extract_bounds_equality_gives_both():
+    c = _conj("{[i,j] : 2i = j}")
+    lowers, uppers, _ = extract_bounds(c.constraints, "i")
+    assert len(lowers) == 1 and len(uppers) == 1
+    assert lowers[0].evaluate({"j": 6}) == 3
+    assert uppers[0].evaluate({"j": 6}) == 3
+    # odd j: empty integer range (ceil > floor)
+    assert lowers[0].evaluate({"j": 7}) > uppers[0].evaluate({"j": 7})

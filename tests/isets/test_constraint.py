@@ -1,0 +1,83 @@
+"""Unit tests for constraint normalization."""
+
+import pytest
+
+from repro.isets import Constraint, LinExpr
+from repro.isets.constraint import EQ, GEQ, ceil_div, floor_div
+
+
+def test_geq_normalization_divides_gcd_and_tightens():
+    # 4i - 6 >= 0  →  2i - 3 >= 0  →  i >= ceil(3/2) → 2i... tightened:
+    # gcd(4)=4? coefficients gcd is 4 → i - 2 >= 0 (floor(-6/4) = -2).
+    c = Constraint(LinExpr({"i": 4}, -6), GEQ)
+    assert c.expr.coeff("i") == 1
+    assert c.expr.constant == -2  # i >= 2 (integer tightening of i >= 1.5)
+
+
+def test_eq_normalization_divides_gcd():
+    c = Constraint(LinExpr({"i": 4, "j": -2}, 6), EQ)
+    assert c.expr.coeff("i") == 2
+    assert c.expr.coeff("j") == -1
+    assert c.expr.constant == 3
+
+
+def test_eq_with_indivisible_constant_is_false():
+    c = Constraint(LinExpr({"i": 2}, 1), EQ)
+    assert c.is_false()
+
+
+def test_eq_sign_canonicalization():
+    a = Constraint.eq(LinExpr.var("i"), LinExpr.var("j"))
+    b = Constraint.eq(LinExpr.var("j"), LinExpr.var("i"))
+    assert a == b
+
+
+def test_builders():
+    i, j = LinExpr.var("i"), LinExpr.var("j")
+    assert Constraint.leq(i, j).holds({"i": 1, "j": 2})
+    assert not Constraint.lt(i, j).holds({"i": 2, "j": 2})
+    assert Constraint.geq(i, 0).holds({"i": 0})
+    assert Constraint.gt(i, j).holds({"i": 3, "j": 2})
+    assert Constraint.eq(i, 5).holds({"i": 5})
+
+
+def test_tautology_and_false_detection():
+    assert Constraint.geq(LinExpr.const(0), 0).is_tautology()
+    assert Constraint.geq(LinExpr.const(-1), 0).is_false()
+    assert Constraint.eq(LinExpr.const(0), 0).is_tautology()
+    assert Constraint.eq(LinExpr.const(1), 0).is_false()
+
+
+def test_negation_of_inequality():
+    c = Constraint.geq(LinExpr.var("i"), 3)  # i >= 3
+    (negated,) = c.negated()
+    # negation: i <= 2
+    assert negated.holds({"i": 2})
+    assert not negated.holds({"i": 3})
+
+
+def test_negation_of_equality_is_two_clauses():
+    c = Constraint.eq(LinExpr.var("i"), 3)
+    clauses = c.negated()
+    assert len(clauses) == 2
+    holds_at = lambda v: any(cl.holds({"i": v}) for cl in clauses)
+    assert holds_at(2) and holds_at(4) and not holds_at(3)
+
+
+def test_substitute_and_rename():
+    c = Constraint.leq(LinExpr.var("i"), LinExpr.var("n"))
+    assert c.substitute("n", 10).holds({"i": 10})
+    renamed = c.rename({"i": "x"})
+    assert renamed.coeff("x") != 0 and renamed.coeff("i") == 0
+
+
+def test_division_helpers():
+    assert floor_div(7, 2) == 3
+    assert floor_div(-7, 2) == -4
+    assert ceil_div(7, 2) == 4
+    assert ceil_div(-7, 2) == -3
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(ValueError):
+        Constraint(LinExpr.var("i"), "<=")

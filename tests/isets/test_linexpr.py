@@ -1,0 +1,117 @@
+"""Unit tests for affine expressions."""
+
+import pytest
+
+from repro.isets import LinExpr, NonAffineError, lin_sum
+
+
+def test_var_and_const_construction():
+    i = LinExpr.var("i")
+    assert i.coeff("i") == 1
+    assert i.constant == 0
+    c = LinExpr.const(7)
+    assert c.is_constant()
+    assert c.constant == 7
+
+
+def test_addition_merges_coefficients():
+    e = LinExpr.var("i") + LinExpr.var("i") + 3
+    assert e.coeff("i") == 2
+    assert e.constant == 3
+
+
+def test_subtraction_cancels_to_constant():
+    e = LinExpr.var("i") - LinExpr.var("i")
+    assert e.is_constant()
+    assert e.constant == 0
+
+
+def test_zero_coefficients_are_dropped():
+    e = LinExpr({"i": 0, "j": 2})
+    assert e.variables() == ("j",)
+
+
+def test_scalar_multiplication():
+    e = (LinExpr.var("i") + 1) * 3
+    assert e.coeff("i") == 3
+    assert e.constant == 3
+
+
+def test_rmul_and_negation():
+    e = -2 * LinExpr.var("i")
+    assert e.coeff("i") == -2
+    assert (-e).coeff("i") == 2
+
+
+def test_product_of_variables_raises():
+    with pytest.raises(NonAffineError):
+        LinExpr.var("i") * LinExpr.var("j")
+
+
+def test_substitute_variable_with_expression():
+    e = LinExpr.var("i").scaled(2) + LinExpr.var("j") + 1
+    out = e.substitute("i", LinExpr.var("k") + 5)
+    assert out.coeff("k") == 2
+    assert out.coeff("j") == 1
+    assert out.constant == 11
+    assert out.coeff("i") == 0
+
+
+def test_substitute_absent_variable_is_identity():
+    e = LinExpr.var("i")
+    assert e.substitute("z", 3) is e
+
+
+def test_rename_merges_colliding_names():
+    e = LinExpr.var("i") + LinExpr.var("j")
+    out = e.rename({"j": "i"})
+    assert out.coeff("i") == 2
+
+
+def test_evaluate_and_partial_evaluate():
+    e = LinExpr.var("i").scaled(3) - LinExpr.var("j") + 4
+    assert e.evaluate({"i": 2, "j": 1}) == 9
+    part = e.partial_evaluate({"i": 2})
+    assert part.coeff("j") == -1
+    assert part.constant == 10
+
+
+def test_exact_div():
+    e = LinExpr.var("i").scaled(4) + 8
+    half = e.exact_div(4)
+    assert half.coeff("i") == 1
+    assert half.constant == 2
+    with pytest.raises(ValueError):
+        (LinExpr.var("i").scaled(3)).exact_div(2)
+
+
+def test_content_gcd():
+    e = LinExpr.var("i").scaled(6) + LinExpr.var("j").scaled(9)
+    assert e.content() == 3
+    assert LinExpr.const(5).content() == 0
+
+
+def test_equality_and_hash():
+    a = LinExpr.var("i") + 2
+    b = LinExpr({"i": 1}, 2)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_lin_sum():
+    total = lin_sum([LinExpr.var("i"), 3, "j"])
+    assert total.coeff("i") == 1
+    assert total.coeff("j") == 1
+    assert total.constant == 3
+
+
+def test_str_round_readability():
+    e = LinExpr.var("i").scaled(2) - LinExpr.var("j") - 1
+    text = str(e)
+    assert "2i" in text and "j" in text
+
+
+def test_bool():
+    assert LinExpr.var("i")
+    assert LinExpr.const(1)
+    assert not LinExpr.const(0)

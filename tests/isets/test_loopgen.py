@@ -1,0 +1,90 @@
+"""Unit tests for loop-nest generation from sets."""
+
+import pytest
+
+from repro.isets import (
+    CodegenError,
+    enumerate_points,
+    generate_loops,
+    parse_set,
+    run_loops,
+)
+
+
+def scan(subset, env=None):
+    points = []
+    fragments = generate_loops(subset, "S")
+    run_loops(
+        fragments,
+        dict(env or {}),
+        lambda payload, env_: points.append(
+            tuple(env_[d] for d in subset.dims)
+        ),
+    )
+    return points
+
+
+CASES = [
+    ("{[i] : 1 <= i <= 10}", {}),
+    ("{[i,j] : 1 <= i <= 5 and i <= j <= 2i}", {}),
+    ("{[i,j,k] : 1 <= i <= 3 and i <= j <= 4 and j <= k <= 5}", {}),
+    ("{[i] : 1 <= i <= 20 and exists(a : i = 3a + 1)}", {}),
+    ("{[i,j] : 1 <= i <= 6 and 1 <= j <= 6 and 2j = i}", {}),
+    ("{[i] : 1 <= i <= n}", {"n": 9}),
+    ("{[i,j] : 1 <= i <= n and i + 1 <= j <= n + 1}", {"n": 5}),
+    ("{[i] : 1 <= i <= 3 or 7 <= i <= 9}", {}),
+    ("{[i] : 1 <= i <= 8 or 5 <= i <= 12}", {}),
+    ("{[i,j] : 1 <= i <= 3 and 1 <= j <= 3 or "
+     "2 <= i <= 5 and 2 <= j <= 5}", {}),
+    ("{[i] : 0 <= i <= 30 and exists(a : i = 5a) or "
+     "0 <= i <= 30 and exists(b : i = 5b + 2)}", {}),
+    ("{[p,t] : 0 <= p <= 3 and 10p + 1 <= t <= 10p + 10}", {}),
+]
+
+
+@pytest.mark.parametrize("text,env", CASES)
+def test_scan_matches_enumeration(text, env):
+    subset = parse_set(text)
+    assert sorted(scan(subset, env)) == enumerate_points(subset, env)
+
+
+def test_lexicographic_order():
+    subset = parse_set("{[i,j] : 1 <= i <= 3 and 1 <= j <= 3}")
+    points = scan(subset)
+    assert points == sorted(points)
+
+
+def test_zero_trip_inner_loops():
+    subset = parse_set("{[i,j] : 1 <= i <= 5 and 10 <= j <= i}")
+    assert scan(subset) == []  # inner range always empty
+
+
+def test_unbounded_raises():
+    subset = parse_set("{[i] : i >= 0}")
+    with pytest.raises(CodegenError):
+        generate_loops(subset, "S")
+
+
+def test_parameter_guard_wraps_nest():
+    subset = parse_set("{[i] : 1 <= i <= 5 and n >= 3}")
+    assert scan(subset, {"n": 2}) == []
+    assert len(scan(subset, {"n": 3})) == 5
+
+
+def test_stride_with_symbolic_base():
+    subset = parse_set(
+        "{[i] : exists(a : i = 2a + n) and n <= i <= n + 9}"
+    )
+    points = scan(subset, {"n": 4})
+    assert points == [(4,), (6,), (8,), (10,), (12,)]
+
+
+def test_payload_passthrough():
+    subset = parse_set("{[i] : 1 <= i <= 2}")
+    payloads = []
+    run_loops(
+        generate_loops(subset, ("tag", 42)),
+        {},
+        lambda payload, env: payloads.append(payload),
+    )
+    assert payloads == [("tag", 42)] * 2

@@ -1,0 +1,75 @@
+"""Unit tests for multiple-mappings code generation (Appendix B)."""
+
+from repro.isets import mm_codegen, parse_set, run_loops
+
+
+def scan(fragments, dims, env=None):
+    events = []
+    run_loops(
+        fragments,
+        dict(env or {}),
+        lambda payload, env_: events.append(
+            (tuple(env_[d] for d in dims), payload)
+        ),
+    )
+    return events
+
+
+def test_single_statement():
+    s = parse_set("{[i] : 1 <= i <= 4}")
+    events = scan(mm_codegen([(s, "A")]), ("i",))
+    assert events == [((i,), "A") for i in range(1, 5)]
+
+
+def test_two_statements_interleaved_in_order():
+    full = parse_set("{[i,j] : 1 <= i <= 3 and 1 <= j <= 3}")
+    lower = parse_set("{[i,j] : 1 <= i <= 3 and 1 <= j <= i}")
+    events = scan(mm_codegen([(full, "A"), (lower, "B")]), ("i", "j"))
+    per_point = {}
+    for point, payload in events:
+        per_point.setdefault(point, []).append(payload)
+    for (i, j), payloads in per_point.items():
+        if j <= i:
+            assert payloads == ["A", "B"]
+        else:
+            assert payloads == ["A"]
+    points = [point for point, _ in events]
+    assert points == sorted(points)
+
+
+def test_statement_executes_exactly_once_per_tuple():
+    a = parse_set("{[i] : 1 <= i <= 10}")
+    b = parse_set("{[i] : 5 <= i <= 15}")
+    events = scan(mm_codegen([(a, "A"), (b, "B")]), ("i",))
+    from collections import Counter
+
+    counts = Counter(events)
+    assert all(v == 1 for v in counts.values())
+    assert sum(1 for (_, p) in events if p == "A") == 10
+    assert sum(1 for (_, p) in events if p == "B") == 11
+
+
+def test_known_context_prunes_guards():
+    s = parse_set("{[i] : 1 <= i <= n and n >= 1}")
+    known = parse_set("{[i] : n >= 1}")
+    fragments = mm_codegen([(s, "A")], known=known)
+    events = scan(fragments, ("i",), {"n": 3})
+    assert len(events) == 3
+
+
+def test_symbolic_guard():
+    a = parse_set("{[i] : 1 <= i <= n}")
+    b = parse_set("{[i] : 1 <= i <= n and i <= m}")
+    events = scan(mm_codegen([(a, "A"), (b, "B")]), ("i",), {"n": 5, "m": 2})
+    b_points = [point for point, payload in events if payload == "B"]
+    assert b_points == [(1,), (2,)]
+
+
+def test_strided_statement_set():
+    s = parse_set("{[i] : 1 <= i <= 12 and exists(a : i = 4a)}")
+    events = scan(mm_codegen([(s, "S")]), ("i",))
+    assert [point for point, _ in events] == [(4,), (8,), (12,)]
+
+
+def test_empty_mapping_list():
+    assert mm_codegen([]) == []

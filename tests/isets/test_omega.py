@@ -1,0 +1,170 @@
+"""Unit tests for the Omega-test core: equality solving, projection,
+emptiness, redundancy."""
+
+from repro.isets import Conjunct, Constraint, LinExpr, parse_set
+from repro.isets.omega import (
+    constraint_redundant,
+    eliminate_variable,
+    gist_conjunct,
+    is_empty_conjunct,
+    normalize,
+    project_out,
+    remove_redundancies,
+    solve_equalities,
+)
+
+
+def _conj(text):
+    return parse_set(text).conjuncts[0]
+
+
+class TestNormalize:
+    def test_drops_tautologies_and_duplicates(self):
+        c = _conj("{[i] : i >= 1 and i >= 1 and 0 <= 1}")
+        result = normalize(c)
+        assert len(result.constraints) == 1
+
+    def test_detects_ground_contradiction(self):
+        c = Conjunct([Constraint.geq(LinExpr.const(-1), 0)])
+        assert normalize(c) is None
+
+    def test_pairs_inequalities_into_equality(self):
+        c = _conj("{[i] : i <= 5 and i >= 5}")
+        result = normalize(c)
+        assert len(result.equalities()) == 1
+
+    def test_opposed_bounds_infeasible(self):
+        # The set constructor's normalization already detects this.
+        assert parse_set("{[i] : i <= 4 and i >= 5}").is_empty()
+
+    def test_drops_unused_wildcards(self):
+        c = Conjunct([Constraint.geq(LinExpr.var("i"), 0)], ["w"])
+        assert normalize(c).wildcards == ()
+
+
+class TestSolveEqualities:
+    def test_unit_wildcard_substitution(self):
+        c = _conj("{[i] : exists(a : a = i + 1) and 1 <= i <= 5}")
+        solved = solve_equalities(c, protected={"i"})
+        assert not solved.wildcards
+
+    def test_stride_form_is_preserved(self):
+        c = _conj("{[i] : exists(a : i = 2a) and 0 <= i <= 10}")
+        solved = solve_equalities(c, protected={"i"})
+        assert len(solved.wildcards) == 1
+        assert len(solved.equalities()) == 1
+
+    def test_gcd_infeasible_equality(self):
+        c = Conjunct([Constraint.eq(LinExpr({"i": 2}), LinExpr.const(5))])
+        assert solve_equalities(c, protected={"i"}) is None
+
+    def test_mod_reduce_terminates_on_large_coefficients(self):
+        c = _conj("{[i,j] : exists(a, b : 7a + 12b = i and 5a - 3b = j)}")
+        solved = solve_equalities(c, protected={"i", "j"})
+        assert solved is not None
+
+    def test_drop_rule_removes_free_definitions(self):
+        c = _conj("{[i] : exists(a : a = 0) and i >= 1}")
+        solved = solve_equalities(c, protected={"i"})
+        assert not solved.wildcards
+
+
+class TestEliminateVariable:
+    def test_exact_unit_fme(self):
+        c = _conj("{[i,j] : 1 <= i <= 10 and i <= j <= 20}")
+        pieces = eliminate_variable(c, "i")
+        assert len(pieces) == 1
+        # result: 1 <= j... j >= 1 (from i<=j, i>=1) and j <= 20
+        piece = pieces[0]
+        assert not piece.uses("i")
+
+    def test_unbounded_side_drops_constraints(self):
+        c = _conj("{[i,j] : i >= j and j >= 0}")
+        pieces = eliminate_variable(c, "i")
+        assert len(pieces) == 1
+        assert pieces[0].uses("j")
+
+    def test_dark_shadow_and_splinters_are_exact(self):
+        # 2i <= x <= 2i + 1 covers every x: projection of x's parity pair
+        c = _conj("{[x] : exists(i : 2i <= x and x <= 2i + 1) and "
+                  "0 <= x <= 9}")
+        # eliminate the wildcard via conjunct-level emptiness on samples
+        for value in range(0, 10):
+            pinned = c.partial_evaluate({"x": value})
+            assert not is_empty_conjunct(pinned)
+
+    def test_nonunit_projection_exact(self):
+        # {x : exists i : 3i <= x <= 3i + 1, 0 <= x <= 8}: x % 3 in {0, 1}
+        s = parse_set(
+            "{[x] : exists(i : 3i <= x and x <= 3i + 1) and 0 <= x <= 8}"
+        )
+        member = [x for x in range(0, 9) if s.contains((x,))]
+        assert member == [0, 1, 3, 4, 6, 7]
+
+
+class TestEmptiness:
+    def test_simple_nonempty(self):
+        assert not is_empty_conjunct(_conj("{[i] : 0 <= i <= 10}"))
+
+    def test_simple_empty(self):
+        c = Conjunct([
+            Constraint.geq(LinExpr.var("i"), 1),
+            Constraint.leq(LinExpr.var("i"), 0),
+        ])
+        assert is_empty_conjunct(c)
+
+    def test_parity_conflict_is_empty(self):
+        c = _conj(
+            "{[i] : exists(a : i = 2a) and exists(b : i = 2b + 1)}"
+        )
+        assert is_empty_conjunct(c)
+
+    def test_symbolic_emptiness(self):
+        n = LinExpr.var("n")
+        i = LinExpr.var("i")
+        empty = Conjunct([Constraint.geq(i, n), Constraint.leq(i, n - 1)])
+        assert is_empty_conjunct(empty)
+        ok = Conjunct([Constraint.geq(i, n), Constraint.leq(i, n + 1)])
+        assert not is_empty_conjunct(ok)
+
+    def test_integer_gap_empty(self):
+        # 3 <= 2i <= 3 requires 2i == 3: no integer solution.
+        i2 = LinExpr({"i": 2})
+        c = Conjunct([
+            Constraint.geq(i2, 3),
+            Constraint.leq(i2, 3),
+        ])
+        assert is_empty_conjunct(c)
+
+
+class TestRedundancy:
+    def test_redundant_constraint_detected(self):
+        c = _conj("{[i] : i >= 5}")
+        assert constraint_redundant(c, Constraint.geq(LinExpr.var("i"), 3))
+        assert not constraint_redundant(
+            c, Constraint.geq(LinExpr.var("i"), 6)
+        )
+
+    def test_remove_redundancies(self):
+        c = _conj("{[i] : i >= 5 and i >= 3 and i <= 10 and i <= 20}")
+        reduced = remove_redundancies(c)
+        assert len(reduced.constraints) == 2
+
+    def test_gist_drops_context_implied(self):
+        target = _conj("{[i] : 1 <= i <= 10 and i >= 5}")
+        context = _conj("{[i] : 1 <= i <= 10}")
+        g = gist_conjunct(target, context)
+        assert len(g.constraints) == 1
+
+
+class TestProjectOut:
+    def test_multiple_variables(self):
+        c = _conj("{[i,j,k] : 1 <= i <= j and j <= k and k <= 10}")
+        pieces = project_out(c, ["j", "k"])
+        # i ranges over 1..10
+        values = set()
+        for piece in pieces:
+            for v in range(-5, 20):
+                if not is_empty_conjunct(piece.partial_evaluate({"i": v})):
+                    values.add(v)
+        assert values == set(range(1, 11))

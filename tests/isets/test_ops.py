@@ -1,0 +1,224 @@
+"""Unit tests for the set/map algebra (paper Appendix A operations)."""
+
+import pytest
+
+from repro.isets import (
+    Conjunct,
+    Constraint,
+    IntegerMap,
+    IntegerSet,
+    LinExpr,
+    SpaceMismatchError,
+    count_points,
+    enumerate_points,
+    parse_map,
+    parse_set,
+    split_disjoint,
+)
+from repro.isets.ops import disjoint_subtract
+
+
+class TestSetAlgebra:
+    def test_union_and_count(self):
+        a = parse_set("{[i] : 1 <= i <= 5}")
+        b = parse_set("{[i] : 4 <= i <= 8}")
+        assert count_points(a.union(b)) == 8
+
+    def test_intersect(self):
+        a = parse_set("{[i] : 1 <= i <= 5}")
+        b = parse_set("{[i] : 4 <= i <= 8}")
+        assert enumerate_points(a.intersect(b)) == [(4,), (5,)]
+
+    def test_subtract(self):
+        a = parse_set("{[i] : 1 <= i <= 8}")
+        b = parse_set("{[i] : 3 <= i <= 5}")
+        assert enumerate_points(a.subtract(b)) == [
+            (1,), (2,), (6,), (7,), (8,)
+        ]
+
+    def test_subtract_stride(self):
+        a = parse_set("{[i] : 0 <= i <= 9}")
+        even = parse_set("{[i] : 0 <= i <= 9 and exists(e : i = 2e)}")
+        odd = a.subtract(even)
+        assert enumerate_points(odd) == [(1,), (3,), (5,), (7,), (9,)]
+
+    def test_alignment_renames_dims(self):
+        a = parse_set("{[i] : 1 <= i <= 5}")
+        b = parse_set("{[x] : 2 <= x <= 9}")
+        assert count_points(a.intersect(b)) == 4
+
+    def test_alignment_capture_rejected(self):
+        a = parse_set("{[i] : 1 <= i <= n}")
+        b = parse_set("{[x] : 1 <= x <= i}")  # free symbol 'i' would capture
+        with pytest.raises(SpaceMismatchError):
+            a.intersect(b)
+
+    def test_is_subset_and_equal(self):
+        small = parse_set("{[i,j] : 2 <= i <= 4 and 2 <= j <= 4}")
+        big = parse_set("{[i,j] : 1 <= i <= 5 and 1 <= j <= 5}")
+        assert small.is_subset(big)
+        assert not big.is_subset(small)
+        assert big.is_equal(
+            parse_set("{[a,b] : 1 <= a <= 5 and 1 <= b <= 5}")
+        )
+
+    def test_symbolic_subset(self):
+        a = parse_set("{[i] : 2 <= i <= n - 1}")
+        b = parse_set("{[i] : 1 <= i <= n}")
+        assert a.is_subset(b)
+        assert not b.is_subset(a)
+
+    def test_project_out(self):
+        s = parse_set("{[i,j] : 1 <= i <= 3 and i <= j <= 2i}")
+        p = s.project_out("j")
+        assert enumerate_points(p) == [(1,), (2,), (3,)]
+
+    def test_project_onto_reorders(self):
+        s = parse_set("{[i,j] : 1 <= i <= 2 and 5 <= j <= 6}")
+        p = s.project_onto(["j"])
+        assert enumerate_points(p) == [(5,), (6,)]
+
+    def test_universe_and_empty(self):
+        assert IntegerSet.universe(["i"]).is_obviously_universe()
+        assert IntegerSet.empty(["i"]).is_empty()
+
+    def test_fix_dims(self):
+        s = parse_set("{[i,j] : 1 <= i <= 5 and 1 <= j <= 5}")
+        fixed = s.fix_dims({"i": 3})
+        assert count_points(fixed) == 5
+
+    def test_simplify_removes_empty_conjuncts(self):
+        s = parse_set("{[i] : 1 <= i <= 5 or 3 <= i <= n and n <= 2}")
+        assert len(s.simplify().conjuncts) == 1
+
+    def test_simplify_full_removes_redundant_constraints(self):
+        s = parse_set("{[i] : 1 <= i <= 5 and i >= 0 and i <= 100}")
+        simplified = s.simplify(full=True)
+        assert len(simplified.conjuncts[0].constraints) == 2
+
+    def test_parameters(self):
+        s = parse_set("{[i] : 1 <= i <= n and i >= pivot}")
+        assert s.parameters() == ("n", "pivot")
+
+    def test_contains_with_params(self):
+        s = parse_set("{[i] : 1 <= i <= n}")
+        assert s.contains((5,), {"n": 10})
+        assert not s.contains((11,), {"n": 10})
+
+
+class TestMapAlgebra:
+    def test_domain_and_range(self):
+        m = parse_map("{[i] -> [j] : j = i + 1 and 1 <= i <= 4}")
+        assert enumerate_points(m.domain()) == [(1,), (2,), (3,), (4,)]
+        assert enumerate_points(m.range()) == [(2,), (3,), (4,), (5,)]
+
+    def test_inverse(self):
+        m = parse_map("{[i] -> [j] : j = 2i and 1 <= i <= 3}")
+        inv = m.inverse()
+        assert enumerate_points(inv.apply(parse_set("{[j] : j = 4}"))) == [
+            (2,)
+        ]
+
+    def test_apply(self):
+        m = parse_map("{[i] -> [j] : j = i + 10}")
+        image = m.apply(parse_set("{[i] : 1 <= i <= 3}"))
+        assert enumerate_points(image) == [(11,), (12,), (13,)]
+
+    def test_then_composition_order(self):
+        f = parse_map("{[i] -> [j] : j = i + 1}")
+        g = parse_map("{[j] -> [k] : k = 2j}")
+        fg = f.then(g)  # k = 2(i+1)
+        image = fg.apply(parse_set("{[i] : i = 3}"))
+        assert enumerate_points(image) == [(8,)]
+
+    def test_compose_is_reversed(self):
+        f = parse_map("{[i] -> [j] : j = i + 1}")
+        g = parse_map("{[j] -> [k] : k = 2j}")
+        gf = g.compose(f)
+        image = gf.apply(parse_set("{[i] : i = 3}"))
+        assert enumerate_points(image) == [(8,)]
+
+    def test_identity(self):
+        ident = IntegerMap.identity(["i", "j"])
+        assert ident.contains((1, 2), (1, 2))
+        assert not ident.contains((1, 2), (2, 1))
+
+    def test_restrict_domain_range(self):
+        m = parse_map("{[i] -> [j] : j = i}")
+        dom = parse_set("{[i] : 1 <= i <= 3}")
+        rng = parse_set("{[j] : 2 <= j <= 9}")
+        restricted = m.restrict_domain(dom).restrict_range(rng)
+        assert enumerate_points(restricted.range()) == [(2,), (3,)]
+
+    def test_preimage(self):
+        m = parse_map("{[i] -> [j] : j = i + 1}")
+        pre = m.preimage(parse_set("{[j] : 5 <= j <= 6}"))
+        assert enumerate_points(pre) == [(4,), (5,)]
+
+    def test_from_exprs(self):
+        m = IntegerMap.from_exprs(
+            ["i", "j"], [LinExpr.var("j"), LinExpr.var("i") - 1]
+        )
+        assert m.contains((2, 7), (7, 1))
+
+    def test_map_subtract(self):
+        m = parse_map("{[i] -> [j] : j = i and 1 <= i <= 5}")
+        diag = parse_map("{[i] -> [j] : j = i and 3 <= i <= 3}")
+        rest = m.subtract(diag)
+        assert enumerate_points(rest.domain()) == [
+            (1,), (2,), (4,), (5,)
+        ]
+
+    def test_mismatched_arity_rejected(self):
+        f = parse_map("{[i] -> [j,k] : j = i and k = i}")
+        g = parse_map("{[j] -> [l] : l = j}")
+        with pytest.raises(SpaceMismatchError):
+            f.then(g)
+
+
+class TestDisjointDecomposition:
+    def test_split_disjoint_partitions_union(self):
+        s = parse_set("{[i] : 1 <= i <= 10 or 5 <= i <= 15}")
+        pieces = split_disjoint(s)
+        covered = {}
+        for piece in pieces:
+            for point in enumerate_points(piece):
+                assert point not in covered, "pieces overlap"
+                covered[point] = True
+        assert sorted(covered) == [(i,) for i in range(1, 16)]
+
+    def test_disjoint_subtract_pieces_are_disjoint(self):
+        a = parse_set("{[i,j] : 0 <= i <= 5 and 0 <= j <= 5}").conjuncts[0]
+        b = parse_set("{[i,j] : 2 <= i <= 3 and 2 <= j <= 3}").conjuncts[0]
+        pieces = disjoint_subtract(a, b)
+        seen = set()
+        for piece in pieces:
+            pts = enumerate_points(
+                IntegerSet(parse_set("{[i,j]}").space, [piece])
+            )
+            for point in pts:
+                assert point not in seen
+                seen.add(point)
+        assert len(seen) == 36 - 4
+
+    def test_split_disjoint_with_strides(self):
+        s = parse_set(
+            "{[i] : 0 <= i <= 11 and exists(a : i = 2a) or "
+            "0 <= i <= 11 and exists(b : i = 3b)}"
+        )
+        pieces = split_disjoint(s)
+        covered = set()
+        for piece in pieces:
+            for point in enumerate_points(piece):
+                assert point not in covered
+                covered.add(point)
+        expected = {(i,) for i in range(12) if i % 2 == 0 or i % 3 == 0}
+        assert covered == expected
+
+
+class TestGist:
+    def test_gist_drops_implied(self):
+        s = parse_set("{[i] : 1 <= i <= 10 and i >= 5}")
+        ctx = parse_set("{[i] : 1 <= i <= 10}")
+        g = s.gist(ctx)
+        assert len(g.conjuncts[0].constraints) == 1

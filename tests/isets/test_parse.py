@@ -1,0 +1,105 @@
+"""Unit tests for the Omega-like set-notation parser."""
+
+import pytest
+
+from repro.isets import ParseError, parse_map, parse_set
+
+
+def test_simple_set():
+    s = parse_set("{[i,j] : 1 <= i <= 10 and j = i}")
+    assert s.dims == ("i", "j")
+    assert s.contains((3, 3))
+    assert not s.contains((3, 4))
+
+
+def test_relational_chain():
+    s = parse_set("{[i] : 1 <= i < 5}")
+    assert s.contains((4,)) and not s.contains((5,))
+
+
+def test_implicit_multiplication():
+    s = parse_set("{[i] : 2i = 6}")
+    assert s.contains((3,))
+    t = parse_set("{[i] : 2*i = 6}")
+    assert t.contains((3,))
+
+
+def test_or_makes_union():
+    s = parse_set("{[i] : i = 1 or i = 5}")
+    assert len(s.conjuncts) == 2
+    assert s.contains((1,)) and s.contains((5,)) and not s.contains((3,))
+
+
+def test_exists_wildcards():
+    s = parse_set("{[i] : exists(a : i = 3a + 1) and 0 <= i <= 10}")
+    members = [i for i in range(11) if s.contains((i,))]
+    assert members == [1, 4, 7, 10]
+
+
+def test_exists_multiple_names():
+    s = parse_set("{[i] : exists(a, b : i = 2a and i = 3b) and 0 <= i <= 12}")
+    members = [i for i in range(13) if s.contains((i,))]
+    assert members == [0, 6, 12]
+
+
+def test_nested_exists_names_do_not_clash():
+    s = parse_set(
+        "{[i,j] : exists(a : i = 2a) and exists(a : j = 2a + 1) "
+        "and 0 <= i <= 4 and 0 <= j <= 4}"
+    )
+    assert s.contains((2, 3))
+    assert not s.contains((2, 2))
+
+
+def test_map_parsing():
+    m = parse_map("{[i] -> [j] : j = i + 1}")
+    assert m.in_dims == ("i",) and m.out_dims == ("j",)
+    assert m.contains((1,), (2,))
+
+
+def test_symbolic_constants_free():
+    s = parse_set("{[i] : 1 <= i <= n}")
+    assert s.parameters() == ("n",)
+    assert s.contains((5,), {"n": 5})
+
+
+def test_true_false_literals():
+    assert parse_set("{[i] : true}").is_obviously_universe()
+    assert parse_set("{[i] : false}").is_empty()
+
+
+def test_empty_constraint_list():
+    s = parse_set("{[i,j]}")
+    assert s.is_obviously_universe()
+
+
+def test_parenthesized_expressions():
+    s = parse_set("{[i] : 2(i + 1) = 8}")
+    assert s.contains((3,))
+
+
+def test_negative_coefficients():
+    s = parse_set("{[i] : -i >= -5 and i >= 0}")
+    assert s.contains((5,)) and not s.contains((6,))
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_set("{[i] : i ** 2 = 4}")
+    with pytest.raises(ParseError):
+        parse_set("{[i] : }")
+    with pytest.raises(ParseError):
+        parse_set("[i] : i = 1")
+    with pytest.raises(ParseError):
+        parse_set("{[i] : i = 1} trailing")
+    with pytest.raises(ParseError):
+        parse_map("{[i] : i = 1}")  # set, not map
+    with pytest.raises(ParseError):
+        parse_set("{[i] -> [j] : j = i}")  # map, not set
+
+
+def test_roundtrip_via_str():
+    s = parse_set("{[i,j] : 1 <= i <= 10 and exists(a : j = 2a) "
+                  "and 0 <= j <= 6}")
+    t = parse_set(str(s).replace("$", ""))
+    assert s.space.arity_in == t.space.arity_in

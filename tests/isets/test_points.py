@@ -1,0 +1,80 @@
+"""Unit tests for point enumeration."""
+
+import pytest
+
+from repro.isets import (
+    UnboundedSetError,
+    brute_force_points,
+    count_points,
+    enumerate_points,
+    parse_set,
+    sample_point,
+)
+
+
+def test_box_enumeration():
+    s = parse_set("{[i,j] : 1 <= i <= 2 and 3 <= j <= 4}")
+    assert enumerate_points(s) == [(1, 3), (1, 4), (2, 3), (2, 4)]
+
+
+def test_triangle():
+    s = parse_set("{[i,j] : 1 <= i <= 3 and 1 <= j <= i}")
+    assert count_points(s) == 6
+
+
+def test_stride_enumeration():
+    s = parse_set("{[i] : 0 <= i <= 12 and exists(a : i = 4a)}")
+    assert enumerate_points(s) == [(0,), (4,), (8,), (12,)]
+
+
+def test_union_deduplicates():
+    s = parse_set("{[i] : 1 <= i <= 4 or 3 <= i <= 6}")
+    assert enumerate_points(s) == [(i,) for i in range(1, 7)]
+
+
+def test_empty_set():
+    s = parse_set("{[i] : i >= 2 and i <= 1}")
+    assert enumerate_points(s) == []
+    assert sample_point(s) is None
+
+
+def test_parameterized_enumeration():
+    s = parse_set("{[i] : 1 <= i <= n}")
+    assert count_points(s, {"n": 7}) == 7
+
+
+def test_unbounded_raises():
+    s = parse_set("{[i] : i >= 0}")
+    with pytest.raises(UnboundedSetError):
+        enumerate_points(s)
+
+
+def test_unbound_parameter_raises():
+    s = parse_set("{[i] : 1 <= i <= n}")
+    with pytest.raises(UnboundedSetError):
+        enumerate_points(s)
+
+
+def test_sample_point_is_member():
+    s = parse_set("{[i,j] : 3 <= i <= 5 and i <= j <= 7}")
+    point = sample_point(s)
+    assert s.contains(point)
+
+
+def test_brute_force_agrees():
+    s = parse_set(
+        "{[i,j] : 1 <= i <= 6 and 1 <= j <= 6 and exists(a : i + j = 2a)}"
+    )
+    brute = brute_force_points(s, {"i": (1, 6), "j": (1, 6)})
+    assert enumerate_points(s) == brute
+
+
+def test_rank_zero_set():
+    s = parse_set("{[] : 1 <= n}")
+    assert enumerate_points(s, {"n": 3}) == [()]
+    assert enumerate_points(s, {"n": 0}) == []
+
+
+def test_negative_ranges():
+    s = parse_set("{[i] : -5 <= i <= -2}")
+    assert enumerate_points(s) == [(-5,), (-4,), (-3,), (-2,)]

@@ -1,0 +1,115 @@
+"""Unit tests for tuple spaces and conjuncts."""
+
+import pytest
+
+from repro.isets import (
+    Conjunct,
+    Constraint,
+    LinExpr,
+    Space,
+    SpaceMismatchError,
+    fresh_name,
+    stride_constraint,
+)
+
+
+class TestSpace:
+    def test_set_space(self):
+        space = Space(["i", "j"])
+        assert not space.is_map
+        assert space.arity_in == 2
+        assert space.all_dims() == ("i", "j")
+        with pytest.raises(SpaceMismatchError):
+            space.arity_out
+
+    def test_map_space(self):
+        space = Space(["i"], ["j", "k"])
+        assert space.is_map
+        assert space.arity_out == 2
+        assert space.reversed().in_dims == ("j", "k")
+        assert space.domain_space() == Space(["i"])
+        assert space.range_space() == Space(["j", "k"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpaceMismatchError):
+            Space(["i", "i"])
+        with pytest.raises(SpaceMismatchError):
+            Space(["i"], ["i"])
+
+    def test_alignment_renaming(self):
+        a = Space(["i", "j"])
+        b = Space(["x", "y"])
+        assert a.alignment_renaming(b) == {"x": "i", "y": "j"}
+        with pytest.raises(SpaceMismatchError):
+            a.alignment_renaming(Space(["x"]))
+
+    def test_drop_and_rename(self):
+        space = Space(["i", "j", "k"])
+        assert space.drop_dims(["j"]).in_dims == ("i", "k")
+        assert space.rename({"i": "a"}).in_dims == ("a", "j", "k")
+
+    def test_fresh_names_unique_and_unparsable(self):
+        a, b = fresh_name("e"), fresh_name("e")
+        assert a != b
+        assert "$" in a  # cannot collide with user-written names
+
+
+class TestConjunct:
+    def _ij(self):
+        i, j = LinExpr.var("i"), LinExpr.var("j")
+        return Conjunct(
+            [Constraint.geq(i, 1), Constraint.leq(i, j)], []
+        )
+
+    def test_variables_and_free(self):
+        c = self._ij().with_wildcards(["w"]).with_constraints(
+            [Constraint.eq(LinExpr.var("w"), LinExpr.var("i"))]
+        )
+        assert c.variables() == ("i", "j", "w")
+        assert c.free_variables() == ("i", "j")
+
+    def test_conjoin_renames_wildcards_apart(self):
+        w = fresh_name("w")
+        stride, witness = stride_constraint(LinExpr.var("i"), 2)
+        a = Conjunct([stride], [witness])
+        merged = a.conjoin(a)
+        assert len(merged.wildcards) == 2
+        assert merged.wildcards[0] != merged.wildcards[1]
+
+    def test_holds_simple(self):
+        c = self._ij()
+        assert c.holds({"i": 1, "j": 5})
+        assert not c.holds({"i": 0, "j": 5})
+
+    def test_holds_with_wildcards(self):
+        stride, witness = stride_constraint(LinExpr.var("i"), 3, 1)
+        c = Conjunct([stride], [witness])
+        assert c.holds({"i": 4})
+        assert not c.holds({"i": 5})
+
+    def test_key_canonicalizes_wildcard_names(self):
+        s1, w1 = stride_constraint(LinExpr.var("i"), 2)
+        s2, w2 = stride_constraint(LinExpr.var("i"), 2)
+        a = Conjunct([s1], [w1])
+        b = Conjunct([s2], [w2])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_substitute_drops_wildcard(self):
+        stride, witness = stride_constraint(LinExpr.var("i"), 2)
+        c = Conjunct([stride], [witness])
+        out = c.substitute(witness, 3)
+        assert witness not in out.wildcards
+        # i = 2*3 = 6 now forced
+        assert out.holds({"i": 6})
+        assert not out.holds({"i": 4})
+
+    def test_partial_evaluate(self):
+        c = self._ij()
+        pinned = c.partial_evaluate({"j": 10})
+        assert pinned.holds({"i": 10})
+        assert not pinned.holds({"i": 11})
+
+    def test_stride_constraint_validation(self):
+        with pytest.raises(ValueError):
+            stride_constraint(LinExpr.var("i"), 0)

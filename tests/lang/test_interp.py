@@ -1,0 +1,113 @@
+"""Unit tests for the serial reference interpreter."""
+
+import pytest
+
+from repro.lang import SemanticError, parse_program, run_serial
+from repro.lang.affine import is_affine, to_affine
+from repro.lang.ast import BinOp, Name, Num
+from repro.lang.errors import NonAffineSubscriptError
+
+
+def test_simple_assignment_and_loops():
+    interp = run_serial(
+        parse_program(
+            "program x\nreal a(10)\ndo i = 1, 10\na(i) = 2 * i\n"
+            "end do\nend\n"
+        ),
+        {},
+    )
+    assert interp.arrays["a"].get((7,)) == 14.0
+
+
+def test_custom_lower_bounds():
+    interp = run_serial(
+        parse_program(
+            "program x\nreal a(0:4)\ndo i = 0, 4\na(i) = i\nend do\nend\n"
+        ),
+        {},
+    )
+    assert interp.arrays["a"].get((0,)) == 0.0
+    assert interp.arrays["a"].get((4,)) == 4.0
+
+
+def test_parameters_override_defaults():
+    src = "program x\nparameter n = 3\nscalar s\ns = n\nend\n"
+    assert run_serial(parse_program(src), {}).values["s"] == 3
+    assert run_serial(parse_program(src), {"n": 9}).values["s"] == 9
+
+
+def test_missing_parameter_raises():
+    src = "program x\nparameter n\nscalar s\ns = n\nend\n"
+    with pytest.raises(SemanticError):
+        run_serial(parse_program(src), {})
+
+
+def test_if_branches():
+    src = (
+        "program x\nscalar s, r\ns = 5\nif (s >= 3) then\nr = 1\n"
+        "else\nr = 2\nend if\nend\n"
+    )
+    assert run_serial(parse_program(src), {}).values["r"] == 1
+
+
+def test_intrinsics():
+    src = (
+        "program x\nscalar a, b, c, d\na = max(1, 5, 3)\nb = abs(-2)\n"
+        "c = min(4, 2)\nd = sqrt(9.0)\nend\n"
+    )
+    values = run_serial(parse_program(src), {}).values
+    assert values["a"] == 5 and values["b"] == 2
+    assert values["c"] == 2 and values["d"] == 3.0
+
+
+def test_integer_division_truncates():
+    src = "program x\nscalar s\ns = 7 / 2\nend\n"
+    assert run_serial(parse_program(src), {}).values["s"] == 3
+
+
+def test_negative_step_loop():
+    src = (
+        "program x\nreal a(5)\nscalar s\ns = 0\n"
+        "do i = 5, 1, -1\ns = s * 10 + i\nend do\nend\n"
+    )
+    assert run_serial(parse_program(src), {}).values["s"] == 54321
+
+
+def test_procedure_call():
+    src = (
+        "program x\nscalar s\nprocedure bump\ns = s + 1\nend\n"
+        "s = 0\ncall bump\ncall bump\nend\n"
+    )
+    assert run_serial(parse_program(src), {}).values["s"] == 2
+
+
+def test_stencil_matches_manual():
+    src = (
+        "program x\nparameter n = 5\nreal a(n), b(n)\n"
+        "do i = 1, n\nb(i) = i\nend do\n"
+        "do i = 2, n-1\na(i) = 0.5 * (b(i-1) + b(i+1))\nend do\nend\n"
+    )
+    interp = run_serial(parse_program(src), {})
+    assert interp.arrays["a"].get((3,)) == 3.0
+
+
+class TestAffineConversion:
+    def test_affine_subscript(self):
+        expr = parse_program(
+            "program x\nreal a(10)\nscalar s\ns = a(2 * 3 - 1)\nend\n"
+        ).main.body[0].rhs
+        assert to_affine(expr.subscripts[0]).constant == 5
+
+    def test_symbolic_affine(self):
+        assert is_affine(BinOp("+", Name("i"), Num(1)))
+
+    def test_product_not_affine(self):
+        assert not is_affine(BinOp("*", Name("i"), Name("j")))
+
+    def test_inexact_division_not_affine(self):
+        with pytest.raises(NonAffineSubscriptError):
+            to_affine(BinOp("/", Name("i"), Num(2)))
+
+    def test_exact_division_is_affine(self):
+        expr = BinOp("/", BinOp("*", Num(4), Name("i")), Num(2))
+        assert to_affine(expr).coeff("i") == 2

@@ -1,0 +1,61 @@
+"""Unit tests for the mini-HPF tokenizer."""
+
+import pytest
+
+from repro.lang.errors import LangParseError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("DO i = 1, N")[:1] == ["do"]
+    assert kinds("End Do")[:2] == ["end", "do"]
+
+
+def test_names_preserve_case():
+    tokens = tokenize("Alpha = beta")
+    assert tokens[0].text == "Alpha"
+
+
+def test_numbers():
+    tokens = tokenize("x = 42 + 0.25 + 1e3 + 2.5d0")
+    texts = [t.text for t in tokens if t.kind in ("int", "float")]
+    assert texts == ["42", "0.25", "1e3", "2.5d0"]
+
+
+def test_operators_longest_match():
+    ops = [
+        k for k in kinds("a <= b >= c == d /= e ** f")
+        if k not in ("name", "newline", "eof")
+    ]
+    assert ops == ["<=", ">=", "==", "/=", "**"]
+
+
+def test_comments_stripped():
+    tokens = tokenize("a = 1 ! comment with do end if\nb = 2")
+    texts = [t.text for t in tokens if t.kind == "name"]
+    assert texts == ["a", "b"]
+
+
+def test_newlines_collapse():
+    tokens = tokenize("a = 1\n\n\nb = 2")
+    newline_count = sum(1 for t in tokens if t.kind == "newline")
+    assert newline_count == 2  # one after each statement
+
+
+def test_line_numbers():
+    tokens = tokenize("a = 1\nb = 2\n")
+    b_token = [t for t in tokens if t.text == "b"][0]
+    assert b_token.line == 2
+
+
+def test_eof_token():
+    assert tokenize("")[-1].kind == "eof"
+
+
+def test_illegal_character():
+    with pytest.raises(LangParseError):
+        tokenize("a = @b")

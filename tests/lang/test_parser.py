@@ -1,0 +1,169 @@
+"""Unit tests for the mini-HPF lexer and parser."""
+
+import pytest
+
+from repro.lang import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Do,
+    If,
+    LangParseError,
+    Name,
+    Num,
+    parse_program,
+    walk_statements,
+)
+
+BASIC = """
+program demo
+  parameter n = 8, m
+  real a(n,n), b(0:9,100)
+  scalar s
+  processors p(2, nprocs / 2)
+  template t(n,n)
+  align a(i,j) with t(i+1,j)
+  align b(i,j) with t(*,i)
+  distribute t(*, block) onto p
+  do i = 1, n
+    a(i,1) = 0.0
+  end do
+end
+"""
+
+
+def test_declarations():
+    prog = parse_program(BASIC)
+    assert [p.name for p in prog.parameters] == ["n", "m"]
+    assert prog.parameters[0].value == 8
+    assert prog.parameters[1].value is None
+    assert [a.name for a in prog.arrays] == ["a", "b"]
+    assert prog.array("b").extents[0][0] == Num(0)
+    assert [s.name for s in prog.scalars] == ["s"]
+    assert prog.processors[0].rank == 2
+    assert prog.templates[0].name == "t"
+
+
+def test_align_stars_and_exprs():
+    prog = parse_program(BASIC)
+    align_a = prog.align_for("a")
+    assert align_a.dummies == ["i", "j"]
+    assert isinstance(align_a.targets[0], BinOp)
+    align_b = prog.align_for("b")
+    assert align_b.targets[0] is None  # '*'
+
+
+def test_distribute_formats():
+    prog = parse_program(BASIC)
+    dist = prog.distribute_for("t")
+    assert dist.formats[0].kind == "*"
+    assert dist.formats[1].kind == "block"
+    assert dist.processors == "p"
+
+
+def test_cyclic_k_format():
+    prog = parse_program(
+        "program x\nreal a(8)\nprocessors p(2)\ntemplate t(8)\n"
+        "align a(i) with t(i)\ndistribute t(cyclic(3)) onto p\nend\n"
+    )
+    fmt = prog.distribute_for("t").formats[0]
+    assert fmt.kind == "cyclic"
+    assert fmt.block_size == Num(3)
+
+
+def test_do_loop_with_step():
+    prog = parse_program(
+        "program x\ndo i = 1, 10, 2\nend do\nend\n"
+    )
+    loop = prog.main.body[0]
+    assert isinstance(loop, Do)
+    assert loop.step == Num(2)
+
+
+def test_if_else():
+    prog = parse_program(
+        "program x\nscalar s\nif (s < 3) then\ns = 1\nelse\ns = 2\n"
+        "end if\nend\n"
+    )
+    node = prog.main.body[0]
+    assert isinstance(node, If)
+    assert len(node.then_body) == 1
+    assert len(node.else_body) == 1
+
+
+def test_on_home_attaches_to_next_assignment():
+    prog = parse_program(
+        "program x\nreal a(5), b(5)\ndo i = 1, 5\n"
+        "on_home b(i)\na(i) = b(i)\nend do\nend\n"
+    )
+    assign = prog.main.body[0].body[0]
+    assert assign.cp is not None
+    assert assign.cp.terms[0].ref.array == "b"
+
+
+def test_on_home_union():
+    prog = parse_program(
+        "program x\nreal a(5), b(5)\ndo i = 1, 5\n"
+        "on_home a(i) union b(i)\na(i) = b(i)\nend do\nend\n"
+    )
+    assign = prog.main.body[0].body[0]
+    assert len(assign.cp.terms) == 2
+
+
+def test_procedures_and_calls():
+    prog = parse_program(
+        "program x\nscalar s\nprocedure setup\ns = 1\nend\n"
+        "call setup\nend\n"
+    )
+    assert prog.procedure("setup").body
+    assert isinstance(prog.main.body[0], CallStmt)
+
+
+def test_intrinsic_vs_array_ref():
+    prog = parse_program(
+        "program x\nreal a(5)\nscalar s\ns = max(a(1), abs(a(2)))\nend\n"
+    )
+    rhs = prog.main.body[0].rhs
+    assert isinstance(rhs, Call) and rhs.func == "max"
+    assert isinstance(rhs.args[0], ArrayRef)
+
+
+def test_float_literals():
+    prog = parse_program("program x\nscalar s\ns = 0.25\nend\n")
+    assert prog.main.body[0].rhs == Num(0.25)
+
+
+def test_operator_precedence():
+    prog = parse_program("program x\nscalar s\ns = 1 + 2 * 3\nend\n")
+    rhs = prog.main.body[0].rhs
+    assert isinstance(rhs, BinOp) and rhs.op == "+"
+
+
+def test_comments_ignored():
+    prog = parse_program(
+        "program x ! a program\nscalar s\n! full line comment\n"
+        "s = 1 ! trailing\nend\n"
+    )
+    assert len(prog.main.body) == 1
+
+
+def test_dangling_on_home_rejected():
+    with pytest.raises(LangParseError):
+        parse_program(
+            "program x\nreal a(5)\ndo i = 1, 5\non_home a(i)\n"
+            "end do\nend\n"
+        )
+
+
+def test_missing_end_rejected():
+    with pytest.raises(LangParseError):
+        parse_program("program x\ndo i = 1, 5\nend\n")
+
+
+def test_walk_statements():
+    prog = parse_program(BASIC)
+    statements = list(walk_statements(prog.main.body))
+    assert any(isinstance(s, Assign) for s in statements)
+    assert any(isinstance(s, Do) for s in statements)

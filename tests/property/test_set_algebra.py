@@ -1,0 +1,146 @@
+"""Property-based tests: the symbolic set algebra against brute force.
+
+Random small sets are generated as unions of conjuncts of random affine
+constraints (plus occasional stride constraints) over a bounded box; every
+algebraic operation must agree with the brute-force evaluation of
+membership over the box.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isets import (
+    Conjunct,
+    Constraint,
+    IntegerSet,
+    LinExpr,
+    Space,
+    enumerate_points,
+    fresh_name,
+    split_disjoint,
+)
+
+BOX = (-4, 6)
+DIMS = ("x", "y")
+
+
+def _box_constraints():
+    constraints = []
+    for dim in DIMS:
+        v = LinExpr.var(dim)
+        constraints.append(Constraint.geq(v, BOX[0]))
+        constraints.append(Constraint.leq(v, BOX[1]))
+    return constraints
+
+
+@st.composite
+def conjuncts(draw):
+    n_constraints = draw(st.integers(0, 3))
+    constraints = list(_box_constraints())
+    wildcards = []
+    for _ in range(n_constraints):
+        cx = draw(st.integers(-2, 2))
+        cy = draw(st.integers(-2, 2))
+        const = draw(st.integers(-5, 5))
+        expr = LinExpr({"x": cx, "y": cy}, const)
+        kind = draw(st.sampled_from([">=", "=="]))
+        if kind == ">=":
+            constraints.append(Constraint.geq(expr, 0))
+        else:
+            constraints.append(Constraint.eq(expr, 0))
+    if draw(st.booleans()):
+        modulus = draw(st.integers(2, 3))
+        offset = draw(st.integers(0, 2))
+        dim = draw(st.sampled_from(DIMS))
+        w = fresh_name("h")
+        constraints.append(
+            Constraint.eq(
+                LinExpr.var(dim),
+                LinExpr.var(w).scaled(modulus) + offset,
+            )
+        )
+        wildcards.append(w)
+    return Conjunct(constraints, wildcards)
+
+
+@st.composite
+def sets(draw):
+    n = draw(st.integers(1, 2))
+    return IntegerSet(Space(DIMS), [draw(conjuncts()) for _ in range(n)])
+
+
+def points_of(subset):
+    result = set()
+    lo, hi = BOX
+    for point in itertools.product(range(lo, hi + 1), repeat=len(DIMS)):
+        if subset.contains(point):
+            result.add(point)
+    return result
+
+
+@settings(max_examples=40, deadline=None)
+@given(sets(), sets())
+def test_union_matches_brute_force(a, b):
+    assert points_of(a.union(b)) == points_of(a) | points_of(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sets(), sets())
+def test_intersection_matches_brute_force(a, b):
+    assert points_of(a.intersect(b)) == points_of(a) & points_of(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sets(), sets())
+def test_difference_matches_brute_force(a, b):
+    assert points_of(a.subtract(b)) == points_of(a) - points_of(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sets())
+def test_emptiness_matches_brute_force(a):
+    assert a.is_empty() == (not points_of(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(sets(), sets())
+def test_subset_matches_brute_force(a, b):
+    assert a.is_subset(b) == (points_of(a) <= points_of(b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(sets())
+def test_simplify_preserves_meaning(a):
+    assert points_of(a.simplify()) == points_of(a)
+    assert points_of(a.simplify(full=True)) == points_of(a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sets())
+def test_enumeration_matches_brute_force(a):
+    assert set(enumerate_points(a)) == points_of(a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sets())
+def test_split_disjoint_partitions(a):
+    pieces = split_disjoint(a)
+    seen = set()
+    for piece in pieces:
+        pts = points_of(piece)
+        assert not (pts & seen), "disjoint pieces overlap"
+        seen |= pts
+    assert seen == points_of(a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sets())
+def test_projection_matches_brute_force(a):
+    projected = a.project_out("y")
+    expected = {(x,) for (x, _) in points_of(a)}
+    lo, hi = BOX
+    got = {
+        (x,) for x in range(lo, hi + 1) if projected.contains((x,))
+    }
+    assert got == expected

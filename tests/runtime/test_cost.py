@@ -1,0 +1,127 @@
+"""Unit tests for traces and the LogGP replay model."""
+
+import pytest
+
+from repro.runtime.cost import CostModel, replay
+from repro.runtime.trace import RunStatistics, Trace
+
+
+def _model():
+    return CostModel(
+        flop_time=1.0,
+        latency=10.0,
+        per_byte=0.0,
+        o_send=1.0,
+        o_recv=1.0,
+        copy_per_byte=0.0,
+        check_time=0.5,
+    )
+
+
+def test_compute_events_merge():
+    trace = Trace(0)
+    trace.compute(5)
+    trace.compute(3)
+    assert len(trace.events) == 1
+    assert trace.compute_units == 8
+
+
+def test_compute_only_replay():
+    t0, t1 = Trace(0), Trace(1)
+    t0.compute(100)
+    t1.compute(40)
+    result = replay([t0, t1], _model())
+    assert result.time == 100.0
+    assert result.per_rank == [100.0, 40.0]
+
+
+def test_send_recv_latency():
+    t0, t1 = Trace(0), Trace(1)
+    t0.compute(10)
+    t0.send(1, "x", 8, 0)
+    t1.recv(0, "x", 8, 0)
+    t1.compute(5)
+    result = replay([t0, t1], _model())
+    # sender: 10 + o_send = 11; arrival 11 + 10 = 21;
+    # receiver: max(0, 21) + o_recv = 22; + 5 compute = 27
+    assert result.per_rank[1] == pytest.approx(27.0)
+
+
+def test_receiver_already_late_pays_no_wait():
+    t0, t1 = Trace(0), Trace(1)
+    t0.send(1, "x", 8, 0)
+    t1.compute(100)
+    t1.recv(0, "x", 8, 0)
+    result = replay([t0, t1], _model())
+    assert result.per_rank[1] == pytest.approx(101.0)
+
+
+def test_fifo_matching_order():
+    t0, t1 = Trace(0), Trace(1)
+    t0.send(1, "a", 8, 0)
+    t0.send(1, "b", 8, 0)
+    t1.recv(0, "a", 8, 0)
+    t1.recv(0, "b", 8, 0)
+    result = replay([t0, t1], _model())
+    assert result.time > 0
+
+
+def test_pipeline_serializes():
+    # rank k waits for rank k-1's message: completion grows with rank
+    traces = [Trace(r) for r in range(4)]
+    for rank in range(4):
+        if rank > 0:
+            traces[rank].recv(rank - 1, "t", 8, 0)
+        traces[rank].compute(10)
+        if rank < 3:
+            traces[rank].send(rank + 1, "t", 8, 0)
+    result = replay(traces, _model())
+    assert result.per_rank[3] > result.per_rank[0]
+    assert result.per_rank == sorted(result.per_rank)
+
+
+def test_collective_synchronizes():
+    t0, t1 = Trace(0), Trace(1)
+    t0.compute(100)
+    t0.collective("allreduce", 8)
+    t1.compute(10)
+    t1.collective("allreduce", 8)
+    result = replay([t0, t1], _model())
+    assert result.per_rank[0] == result.per_rank[1]
+    assert result.per_rank[0] > 100
+
+
+def test_copy_cost_charged():
+    model = _model()
+    model.copy_per_byte = 1.0
+    t0, t1 = Trace(0), Trace(1)
+    t0.send(1, "x", 8, 8)  # copied
+    t1.recv(0, "x", 8, 0)  # in place
+    result = replay([t0, t1], model)
+    assert result.per_rank[0] == pytest.approx(1.0 + 8.0)
+
+
+def test_buffer_checks_add_time():
+    t0 = Trace(0)
+    t0.compute(10)
+    t0.check(4)
+    result = replay([t0], _model())
+    assert result.per_rank[0] == pytest.approx(10 + 4 * 0.5)
+
+
+def test_stuck_replay_detected():
+    t0, t1 = Trace(0), Trace(1)
+    t1.recv(0, "never", 8, 0)  # no matching send
+    with pytest.raises(RuntimeError):
+        replay([t0, t1], _model())
+
+
+def test_statistics_aggregation():
+    t0, t1 = Trace(0), Trace(1)
+    t0.compute(10)
+    t0.send(1, "x", 16, 16)
+    t1.recv(0, "x", 16, 0)
+    stats = RunStatistics.from_traces([t0, t1])
+    assert stats.total_messages == 1
+    assert stats.total_bytes == 16
+    assert stats.max_compute == 10

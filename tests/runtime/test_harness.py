@@ -1,0 +1,140 @@
+"""Unit tests for startup bindings and numeric ownership (validation)."""
+
+import pytest
+
+from repro.hpf import DataMapping
+from repro.lang import parse_program
+from repro.runtime.harness import (
+    eval_lang_expr,
+    evaluate_bindings,
+    owner_coordinate,
+    rank_of_coords,
+)
+from repro.lang.ast import BinOp, Name, Num
+
+
+def _mapping(src):
+    return DataMapping(parse_program(src))
+
+
+BLOCK_SYM = """
+program x
+  parameter n
+  real a(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  distribute t(block) onto p
+end
+"""
+
+
+class TestEvalLangExpr:
+    def test_arithmetic(self):
+        expr = BinOp("+", BinOp("*", Num(3), Name("n")), Num(1))
+        assert eval_lang_expr(expr, {"n": 4}) == 13
+
+    def test_fortran_division(self):
+        expr = BinOp("/", Name("nprocs"), Num(2))
+        assert eval_lang_expr(expr, {"nprocs": 7}) == 3
+
+
+class TestBindings:
+    def test_vp_block_binding(self):
+        mapping = _mapping(BLOCK_SYM)
+        env = evaluate_bindings(mapping, {"n": 100}, 4, 2)
+        assert env["B_t_0"] == 25
+        # vm = B*m + tlb = 25*2 + 1
+        assert env["my_p_0"] == 51
+
+    def test_grid_coords_row_major(self):
+        src = BLOCK_SYM.replace(
+            "processors p(nprocs)", "processors p(2, nprocs / 2)"
+        ).replace("distribute t(block) onto p",
+                  "distribute t(block) onto p")
+        # rank 5 on a 2x4 grid: coords (1, 1)
+        mapping = _mapping(
+            """
+program g
+  real a(8,8)
+  processors p(2, nprocs / 2)
+  template t(8,8)
+  align a(i,j) with t(i,j)
+  distribute t(block, block) onto p
+end
+"""
+        )
+        env = evaluate_bindings(mapping, {}, 8, 5)
+        # rank 5 on a 2x4 grid is coords (1, 1).  Dim 0 is exact block
+        # (both extents constant): my_p_0 is the physical coordinate.
+        # Dim 1 has a symbolic extent: my_p_1 is the VP-block coordinate
+        # vm = B*m + 1 with B = ceil(8/4) = 2.
+        assert env["my_p_0"] == 1
+        assert env["my_p_1"] == 2 * 1 + 1
+
+    def test_wrong_nprocs_rejected(self):
+        mapping = _mapping(BLOCK_SYM.replace("p(nprocs)", "p(4)"))
+        with pytest.raises(ValueError):
+            evaluate_bindings(mapping, {"n": 16}, 3, 0)
+
+    def test_missing_parameter_rejected(self):
+        mapping = _mapping(BLOCK_SYM)
+        with pytest.raises(ValueError):
+            evaluate_bindings(mapping, {}, 2, 0)
+
+
+class TestOwnership:
+    def test_block_owner(self):
+        mapping = _mapping(BLOCK_SYM)
+        layout = mapping.layout("a")
+        env = evaluate_bindings(mapping, {"n": 100}, 4, 0)
+        assert owner_coordinate(layout, 0, (1,), env) == 0
+        assert owner_coordinate(layout, 0, (25,), env) == 0
+        assert owner_coordinate(layout, 0, (26,), env) == 1
+        assert owner_coordinate(layout, 0, (100,), env) == 3
+
+    def test_cyclic_owner(self):
+        mapping = _mapping(
+            BLOCK_SYM.replace("distribute t(block)", "distribute t(cyclic)")
+        )
+        layout = mapping.layout("a")
+        env = evaluate_bindings(mapping, {"n": 100}, 4, 0)
+        assert owner_coordinate(layout, 0, (1,), env) == 0
+        assert owner_coordinate(layout, 0, (2,), env) == 1
+        assert owner_coordinate(layout, 0, (6,), env) == 1
+
+    def test_cyclic_k_owner(self):
+        mapping = _mapping(
+            BLOCK_SYM.replace(
+                "distribute t(block)", "distribute t(cyclic(3))"
+            )
+        )
+        layout = mapping.layout("a")
+        env = evaluate_bindings(mapping, {"n": 100}, 2, 0)
+        # blocks of 3, round robin on 2 procs: 1..3 -> 0, 4..6 -> 1, ...
+        assert owner_coordinate(layout, 0, (3,), env) == 0
+        assert owner_coordinate(layout, 0, (4,), env) == 1
+        assert owner_coordinate(layout, 0, (7,), env) == 0
+
+    def test_offset_alignment_owner(self):
+        mapping = _mapping(
+            """
+program x
+  real a(0:99)
+  processors p(4)
+  template t(100)
+  align a(i) with t(i+1)
+  distribute t(block) onto p
+end
+"""
+        )
+        layout = mapping.layout("a")
+        env = evaluate_bindings(mapping, {}, 4, 0)
+        # a(24) -> t(25) -> proc 0; a(25) -> t(26) -> proc 1
+        assert owner_coordinate(layout, 0, (24,), env) == 0
+        assert owner_coordinate(layout, 0, (25,), env) == 1
+
+
+def test_rank_of_coords():
+    assert rank_of_coords([2, 4], [1, 3]) == 7
+    assert rank_of_coords([3], [2]) == 2
