@@ -1,0 +1,161 @@
+"""Measured wall-clock per execution backend (→ ``BENCH_backends.json``).
+
+Every other benchmark in this directory reports LogGP *replay* times; this
+one reports **measured** wall-clock from the execution backends — the
+``mp`` backend in particular runs one OS process per rank, so its numbers
+reflect real inter-process data movement.  Results are recorded in
+``BENCH_backends.json`` at the repository root so future PRs have a
+performance trajectory to compare against:
+
+* a Jacobi-style kernel per backend and rank count, with the measured
+  wall-clock next to the LogGP-predicted time;
+* an in-place-vs-copy A/B (§3.3) and a split-vs-unsplit A/B (Figure 4)
+  on the multiprocess backend, where the copy/overlap effects those
+  optimizations target are physically real.
+
+Assertions stay qualitative (everything ran, timings recorded); absolute
+times are machine-dependent and only logged.
+"""
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import CompilerOptions, compile_program, run_compiled
+
+from conftest import emit
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_backends.json"
+
+JACOBI_STYLE = """
+program jacobi1d
+  parameter n
+  parameter niter
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, n
+    b(i) = i * 0.5
+    a(i) = 0.0
+  end do
+  do iter = 1, niter
+    do i = 2, n - 1
+      a(i) = 0.5 * (b(i-1) + b(i+1))
+    end do
+    do i = 2, n - 1
+      b(i) = a(i)
+    end do
+  end do
+end
+"""
+
+PARAMS = {"n": 512, "niter": 4}
+BACKENDS = ("threads", "mp", "inproc-seq")
+RANKS = (1, 2, 4)
+
+
+def _record(section: str, payload) -> None:
+    """Read-modify-write one section of BENCH_backends.json."""
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.setdefault("meta", {}).update(
+        {
+            "generated_by": "benchmarks/test_backends_wallclock.py",
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        }
+    )
+    data[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.benchmark(group="backends")
+def test_backend_wallclock_jacobi_style(benchmark):
+    compiled = compile_program(JACOBI_STYLE)
+
+    def run():
+        rows = {}
+        for backend in BACKENDS:
+            rows[backend] = {}
+            for nprocs in RANKS:
+                outcome = run_compiled(
+                    compiled, params=PARAMS, nprocs=nprocs,
+                    backend=backend, validate=False,
+                )
+                rows[backend][str(nprocs)] = {
+                    "wall_s": outcome.max_rank_wall_s,
+                    "launch_wall_s": outcome.launch_wall_s,
+                    "predicted_loggp_s": outcome.predicted_time,
+                    "messages": outcome.stats.total_messages,
+                    "bytes": outcome.stats.total_bytes,
+                }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for backend, by_procs in rows.items():
+        for nprocs, row in by_procs.items():
+            emit(
+                f"{backend:10s} p={nprocs}: measured "
+                f"{row['wall_s'] * 1e3:8.2f} ms   LogGP-predicted "
+                f"{row['predicted_loggp_s'] * 1e3:8.3f} ms"
+            )
+            assert row["wall_s"] > 0.0
+    _record(
+        "jacobi_style",
+        {"params": PARAMS, "kernel": "jacobi1d", "results": rows},
+    )
+
+
+@pytest.mark.benchmark(group="backends")
+def test_mp_ab_inplace_and_split(benchmark):
+    """In-place-vs-copy and split-vs-unsplit measured A/Bs on ``mp``."""
+
+    def run():
+        ab = {}
+        variants = {
+            "inplace": (
+                CompilerOptions(inplace=True),
+                CompilerOptions(inplace=False),
+            ),
+            "loop_split": (
+                CompilerOptions(loop_split=True),
+                CompilerOptions(loop_split=False),
+            ),
+        }
+        for label, (on_opts, off_opts) in variants.items():
+            pair = {}
+            for state, options in (("on", on_opts), ("off", off_opts)):
+                compiled = compile_program(JACOBI_STYLE, options)
+                outcome = run_compiled(
+                    compiled, params=PARAMS, nprocs=4,
+                    backend="mp", validate=False,
+                )
+                pair[state] = {
+                    "wall_s": outcome.max_rank_wall_s,
+                    "predicted_loggp_s": outcome.predicted_time,
+                    "copies": outcome.stats.total_copies,
+                    "checks": outcome.stats.total_checks,
+                }
+            ab[label] = pair
+        return ab
+
+    ab = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, pair in ab.items():
+        emit(
+            f"mp A/B {label}: on {pair['on']['wall_s'] * 1e3:.2f} ms "
+            f"vs off {pair['off']['wall_s'] * 1e3:.2f} ms "
+            f"(copies {pair['on']['copies']} vs {pair['off']['copies']})"
+        )
+    # §3.3: enabling in-place recognition must not increase copied bytes.
+    assert ab["inplace"]["on"]["copies"] <= ab["inplace"]["off"]["copies"]
+    _record("mp_ab", {"params": PARAMS, "nprocs": 4, "results": ab})

@@ -22,8 +22,10 @@ Quick start::
 
 from .core.driver import CompiledProgram, compile_program
 from .core.options import CompilerOptions
+from .runtime.backends import backend_names, get_backend, register_backend
 from .runtime.cost import CostModel
 from .runtime.harness import RunOutcome, run_compiled
+from .runtime.options import RuntimeOptions
 
 __version__ = "1.0.0"
 
@@ -32,7 +34,11 @@ __all__ = [
     "CompilerOptions",
     "CostModel",
     "RunOutcome",
+    "RuntimeOptions",
     "__version__",
+    "backend_names",
     "compile_program",
+    "get_backend",
+    "register_backend",
     "run_compiled",
 ]

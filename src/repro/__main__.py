@@ -78,17 +78,29 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     from . import compile_program, run_compiled
+    from .runtime.options import RuntimeOptions
 
     source = open(args.program).read()
     compiled = compile_program(source, _options_from(args))
-    outcome = run_compiled(
-        compiled,
-        params=_parse_params(args.param),
-        nprocs=args.nprocs,
-        validate=not args.no_validate,
-    )
+    runtime_options = RuntimeOptions(backend=args.backend)
+    if args.recv_timeout is not None:
+        runtime_options = runtime_options.with_(
+            recv_timeout_s=args.recv_timeout
+        )
+    try:
+        outcome = run_compiled(
+            compiled,
+            params=_parse_params(args.param),
+            nprocs=args.nprocs,
+            validate=not args.no_validate,
+            backend=args.backend,
+            runtime_options=runtime_options,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     status = "skipped" if args.no_validate else "OK"
     print(f"validation: {status}")
+    print(f"backend:    {outcome.backend}")
     print(f"processors: {args.nprocs}")
     print(f"messages:   {outcome.stats.total_messages} "
           f"({outcome.stats.total_bytes} payload bytes, "
@@ -98,6 +110,15 @@ def cmd_run(args) -> int:
     print(f"predicted time: {outcome.predicted_time * 1e3:.3f} ms "
           f"(serial estimate {outcome.serial_time * 1e3:.3f} ms, "
           f"speedup {outcome.speedup:.2f}x)")
+    if outcome.timings:
+        print(f"measured wall-clock: {outcome.max_rank_wall_s * 1e3:.3f} ms "
+              f"max-rank (launch {outcome.launch_wall_s * 1e3:.3f} ms)")
+        for t in outcome.timings:
+            comm = (
+                f", comm {t.comm_wall_s * 1e3:.3f} ms"
+                if t.comm_wall_s else ""
+            )
+            print(f"  rank {t.rank}: {t.wall_s * 1e3:.3f} ms{comm}")
     for name in sorted(outcome.results[0].scalars):
         print(f"scalar {name} = {outcome.results[0].scalars[name]}")
     return 0
@@ -147,11 +168,20 @@ def main(argv=None) -> int:
     _add_option_flags(p_compile)
     p_compile.set_defaults(func=cmd_compile)
 
-    p_run = sub.add_parser("run", help="run on the simulated machine")
+    p_run = sub.add_parser("run", help="run on an execution backend")
     p_run.add_argument("program")
     p_run.add_argument("--nprocs", type=int, default=4)
     p_run.add_argument("--param", action="append", metavar="NAME=VALUE")
     p_run.add_argument("--no-validate", action="store_true")
+    p_run.add_argument(
+        "--backend", default="threads", metavar="NAME",
+        help="execution backend: threads (default), mp "
+             "(one OS process per rank), or inproc-seq (deterministic "
+             "sequential reference)")
+    p_run.add_argument(
+        "--recv-timeout", type=float, default=None, metavar="SECONDS",
+        help="blocking-receive timeout before a run is declared "
+             "deadlocked (default: $REPRO_RECV_TIMEOUT_S or 60)")
     _add_option_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 

@@ -52,6 +52,23 @@ class CompiledProgram:
     def source(self) -> str:
         return self.module.source
 
+    def run(
+        self,
+        params: Optional[Dict[str, int]] = None,
+        nprocs: int = 4,
+        backend: Optional[str] = None,
+        **kwargs,
+    ):
+        """Execute this program on an execution backend (see
+        :func:`repro.runtime.harness.run_compiled`); ``backend`` may be
+        ``'threads'`` (default), ``'mp'``, or ``'inproc-seq'``."""
+        from ..runtime.harness import run_compiled
+
+        return run_compiled(
+            self, params=params or {}, nprocs=nprocs, backend=backend,
+            **kwargs,
+        )
+
     def listing(self) -> str:
         """Human-readable compilation report.
 

@@ -1,0 +1,42 @@
+"""Pluggable execution backends for compiled SPMD node programs.
+
+See :mod:`repro.runtime.backends.base` for the interface and the
+characteristics of each registered backend (``threads``, ``mp``,
+``inproc-seq``).
+"""
+
+from .base import (
+    ExecutionBackend,
+    LaunchResult,
+    LaunchSpec,
+    RankBindings,
+    RankTiming,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from .inproc_seq import SequentialBackend, SequentialMachine
+from .mp import MPNodeRuntime, MultiprocessBackend
+from .threads import ThreadsBackend
+
+register_backend(ThreadsBackend.name, ThreadsBackend)
+register_backend(MultiprocessBackend.name, MultiprocessBackend)
+register_backend(SequentialBackend.name, SequentialBackend)
+
+__all__ = [
+    "ExecutionBackend",
+    "LaunchResult",
+    "LaunchSpec",
+    "MPNodeRuntime",
+    "MultiprocessBackend",
+    "RankBindings",
+    "RankTiming",
+    "SequentialBackend",
+    "SequentialMachine",
+    "ThreadsBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,67 @@
+"""``threads`` backend: the original thread-simulated machine.
+
+One daemon thread per rank inside this process.  This is the default
+backend — cheap to launch and exercises real concurrency — but its
+wall-clock numbers are GIL-serialized, so use the ``mp`` backend when the
+measured times matter.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from ..machine import Machine, NodeRuntime
+from .base import (
+    ExecutionBackend,
+    LaunchResult,
+    LaunchSpec,
+    RankBindings,
+    RankTiming,
+)
+
+
+class ThreadsBackend(ExecutionBackend):
+    name = "threads"
+
+    #: machine class; the sequential backend swaps this out.
+    machine_cls = Machine
+
+    def launch(self, spec: LaunchSpec) -> LaunchResult:
+        node_main = self.load_node_main(spec.source)
+        members = self.member_fns(spec.fallback_sets)
+
+        def make_runtime(rank: int, machine) -> NodeRuntime:
+            bindings = spec.bindings[rank]
+            arrays, scalars = self.allocate_state(bindings)
+            runtime = NodeRuntime(
+                machine,
+                rank,
+                dict(bindings.env),
+                arrays,
+                bindings.array_lbounds,
+                scalars,
+            )
+            runtime.member_fns = members
+            runtime.inplace = dict(bindings.inplace)
+            return runtime
+
+        wall: List[float] = [0.0] * spec.nprocs
+
+        def timed_main(rt) -> None:
+            start = time.perf_counter()
+            try:
+                node_main(rt)
+            finally:
+                wall[rt.rank] = time.perf_counter() - start
+
+        machine = self.machine_cls(
+            spec.nprocs, recv_timeout_s=spec.options.recv_timeout_s
+        )
+        launch_start = time.perf_counter()
+        results = machine.run(timed_main, make_runtime)
+        elapsed = time.perf_counter() - launch_start
+        timings = [
+            RankTiming(rank, wall[rank]) for rank in range(spec.nprocs)
+        ]
+        return LaunchResult(self.name, results, timings, elapsed)

@@ -3,13 +3,16 @@
 Responsibilities:
 
 * evaluate the startup **runtime bindings** per rank (grid coordinates,
-  symbolic extents, block sizes, the ``vm = B*m + tlb`` VP-block rebinding);
-* allocate per-rank array storage and run the node program on the
-  :class:`~repro.runtime.machine.Machine`;
+  symbolic extents, block sizes, the ``vm = B*m + tlb`` VP-block rebinding)
+  into a picklable :class:`~repro.runtime.backends.LaunchSpec`;
+* hand the spec to the selected **execution backend** (``threads`` by
+  default; ``mp`` for one-process-per-rank; ``inproc-seq`` for the
+  deterministic golden reference — see :mod:`repro.runtime.backends`);
 * **validate** the distributed result against the serial interpreter by
   comparing each element on its owner rank (ownership evaluated numerically
-  from the layout descriptors);
-* replay traces through the cost model for predicted times.
+  from the layout descriptors) — identical for every backend;
+* replay traces through the cost model for predicted times, reported
+  alongside the backend's *measured* wall-clock timings.
 """
 
 from __future__ import annotations
@@ -36,8 +39,15 @@ from ..lang.ast import BinOp, Call, Expr, Name, Num, UnOp
 from ..lang.interp import run_serial
 from ..core.driver import CompiledProgram
 from ..core.inplace import evaluate_at_runtime
+from .backends import (
+    LaunchSpec,
+    RankBindings,
+    RankTiming,
+    resolve_backend,
+)
 from .cost import CostModel, ReplayResult, replay
-from .machine import Machine, NodeRuntime, RankResult
+from .machine import RankResult
+from .options import RuntimeOptions
 from .trace import RunStatistics, Trace
 
 
@@ -180,6 +190,12 @@ class RunOutcome:
     replay: ReplayResult
     serial_time: float  # predicted serial time under the same cost model
     env0: Dict[str, int]
+    #: which execution backend produced the results.
+    backend: str = "threads"
+    #: measured (not modeled) per-rank wall-clock timings.
+    timings: List[RankTiming] = field(default_factory=list)
+    #: parent-side elapsed wall-clock for the whole launch.
+    launch_wall_s: float = 0.0
 
     @property
     def predicted_time(self) -> float:
@@ -189,32 +205,32 @@ class RunOutcome:
     def speedup(self) -> float:
         return self.serial_time / self.replay.time
 
+    @property
+    def max_rank_wall_s(self) -> float:
+        """Slowest rank's measured wall-clock (the SPMD critical path)."""
+        return max((t.wall_s for t in self.timings), default=0.0)
 
-def run_compiled(
+
+def build_launch_spec(
     compiled: CompiledProgram,
     params: Mapping[str, int],
     nprocs: int,
-    cost_model: Optional[CostModel] = None,
-    validate: bool = True,
-    serial_work: Optional[float] = None,
-) -> RunOutcome:
-    """Execute the compiled program on a simulated ``nprocs`` machine."""
-    cost_model = cost_model or CostModel()
-    namespace: Dict[str, object] = {}
-    exec(compile(compiled.source, "<spmd>", "exec"), namespace)
-    node_main = namespace["node_main"]
+    options: Optional[RuntimeOptions] = None,
+) -> LaunchSpec:
+    """Evaluate all per-rank startup state into a picklable launch spec.
 
+    Everything symbolic (bindings, array extents, runtime in-place flags)
+    is resolved here in the parent, so backends — including out-of-process
+    workers — only see plain numbers, names, and the node-program source.
+    """
+    options = options or RuntimeOptions()
     program = compiled.program
     mapping = compiled.mapping
-
-    member_fns = [
-        (lambda s: (lambda env, point: s.contains(point, env)))(s)
-        for s in compiled.module.fallback_sets
-    ]
-
-    def make_runtime(rank: int, machine: Machine) -> NodeRuntime:
+    scalar_names = [s.name for s in program.scalars]
+    bindings: List[RankBindings] = []
+    for rank in range(nprocs):
         env = evaluate_bindings(mapping, params, nprocs, rank)
-        arrays: Dict[str, np.ndarray] = {}
+        shapes: Dict[str, Tuple[int, ...]] = {}
         lbounds: Dict[str, Tuple[int, ...]] = {}
         for decl in program.arrays:
             lbs = []
@@ -224,21 +240,48 @@ def run_compiled(
                 hi = eval_lang_expr(high, env)
                 lbs.append(lo)
                 shape.append(hi - lo + 1)
-            arrays[decl.name] = np.zeros(tuple(shape), dtype=np.float64)
+            shapes[decl.name] = tuple(shape)
             lbounds[decl.name] = tuple(lbs)
-        scalars = {s.name: 0.0 for s in program.scalars}
-        runtime = NodeRuntime(
-            machine, rank, env, arrays, lbounds, scalars
+        inplace = {
+            name: _inplace_for_rank(result, layout, env, nprocs, rank)
+            for name, result, layout in compiled.module.runtime_inplace
+        }
+        bindings.append(
+            RankBindings(rank, env, shapes, lbounds, scalar_names, inplace)
         )
-        runtime.member_fns = member_fns
-        for name, result, layout in compiled.module.runtime_inplace:
-            runtime.inplace[name] = _inplace_for_rank(
-                result, layout, env, nprocs, rank
-            )
-        return runtime
+    return LaunchSpec(
+        nprocs,
+        compiled.source,
+        bindings,
+        list(compiled.module.fallback_sets),
+        options,
+    )
 
-    machine = Machine(nprocs)
-    results = machine.run(node_main, make_runtime)
+
+def run_compiled(
+    compiled: CompiledProgram,
+    params: Mapping[str, int],
+    nprocs: int,
+    cost_model: Optional[CostModel] = None,
+    validate: bool = True,
+    serial_work: Optional[float] = None,
+    backend: Optional[str] = None,
+    runtime_options: Optional[RuntimeOptions] = None,
+) -> RunOutcome:
+    """Execute the compiled program on ``nprocs`` ranks.
+
+    ``backend`` selects the execution substrate (``threads`` default,
+    ``mp``, ``inproc-seq``, or any :class:`ExecutionBackend` instance);
+    validation and trace replay are identical regardless of backend.
+    """
+    cost_model = cost_model or CostModel()
+    options = runtime_options or RuntimeOptions()
+    backend_obj = resolve_backend(
+        backend if backend is not None else options.backend
+    )
+    spec = build_launch_spec(compiled, params, nprocs, options)
+    launch = backend_obj.launch(spec)
+    results = launch.results
     stats = RunStatistics.from_traces([r.trace for r in results])
     replayed = replay([r.trace for r in results], cost_model)
     if serial_work is None:
@@ -249,7 +292,16 @@ def run_compiled(
     if validate:
         _validate(compiled, params, nprocs, results)
     return RunOutcome(
-        compiled, nprocs, results, stats, replayed, serial_time, env0
+        compiled,
+        nprocs,
+        results,
+        stats,
+        replayed,
+        serial_time,
+        env0,
+        backend=backend_obj.name,
+        timings=launch.timings,
+        launch_wall_s=launch.wall_s,
     )
 
 

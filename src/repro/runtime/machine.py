@@ -5,20 +5,24 @@ semantics: buffered (non-blocking) sends, blocking FIFO receives per
 channel, and tree collectives.  Correctness comes from this execution;
 predicted performance comes from replaying the recorded traces through
 :mod:`repro.runtime.cost`.
+
+This machine is one of several execution backends (see
+:mod:`repro.runtime.backends`); it remains the default because it is cheap
+to launch and exercises real concurrency.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .noderuntime import NodeRuntimeBase
+from .options import default_recv_timeout
 from .trace import Trace
-
-_RECV_TIMEOUT_S = 60.0
 
 
 class CommunicationError(RuntimeError):
@@ -28,8 +32,11 @@ class CommunicationError(RuntimeError):
 class _Collective:
     """Reusable rendezvous combining one value from every rank."""
 
-    def __init__(self, nprocs: int):
+    def __init__(self, nprocs: int, timeout_s: Optional[float] = None):
         self.nprocs = nprocs
+        self.timeout_s = (
+            timeout_s if timeout_s is not None else default_recv_timeout()
+        )
         self.lock = threading.Condition()
         self.values: List[Any] = []
         self.result: Any = None
@@ -45,16 +52,16 @@ class _Collective:
                 self.generation += 1
                 self.lock.notify_all()
             else:
-                deadline = _RECV_TIMEOUT_S
                 if not self.lock.wait_for(
-                    lambda: self.generation != generation, timeout=deadline
+                    lambda: self.generation != generation,
+                    timeout=self.timeout_s,
                 ):
                     raise CommunicationError("collective timed out")
             return self.result
 
 
-class NodeRuntime:
-    """The API surface generated node programs run against."""
+class NodeRuntime(NodeRuntimeBase):
+    """The thread-machine implementation of the node-program runtime."""
 
     def __init__(
         self,
@@ -65,21 +72,8 @@ class NodeRuntime:
         lbounds: Dict[str, Tuple[int, ...]],
         scalars: Dict[str, float],
     ):
+        super().__init__(rank, machine.nprocs, env, arrays, lbounds, scalars)
         self.machine = machine
-        self.rank = rank
-        self.nprocs = machine.nprocs
-        self.env = env
-        self.arrays = arrays
-        self.lbounds = lbounds
-        self.scalars = scalars
-        self.trace = Trace(rank)
-        #: membership closures for guards the emitter could not express
-        #: inline; registered by the harness.
-        self.member_fns: List[Callable[..., bool]] = []
-        #: pre-nest values of '+'-reduction scalars.
-        self.red_base: Dict[str, float] = {}
-        #: runtime-evaluated in-place contiguity flags, by name.
-        self.inplace: Dict[str, bool] = {}
 
     # -- communication ----------------------------------------------------------
 
@@ -89,18 +83,13 @@ class NodeRuntime:
         data = list(values)
         nbytes = 8 * len(data)
         self.trace.send(dest, tag, nbytes, 0 if inplace else nbytes)
-        self.machine.channel(self.rank, dest).put((tag, indices, data))
+        self.machine.put_message(self.rank, dest, tag, indices, data)
 
     def recv(self, src: int, tag, inplace: bool = False):
         """Returns ``(indices, values)`` for the next message from src."""
-        try:
-            got_tag, indices, data = self.machine.channel(
-                src, self.rank
-            ).get(timeout=_RECV_TIMEOUT_S)
-        except queue.Empty:
-            raise CommunicationError(
-                f"rank {self.rank} timed out receiving {tag!r} from {src}"
-            ) from None
+        got_tag, indices, data = self.machine.get_message(
+            src, self.rank, tag
+        )
         if got_tag != tag:
             raise CommunicationError(
                 f"rank {self.rank}: expected {tag!r} from {src}, "
@@ -117,25 +106,11 @@ class NodeRuntime:
             "max": lambda vs: max(vs),
             "min": lambda vs: min(vs),
         }
-        return self.machine.collective.combine(value, ops[op])
+        return self.machine.combine(self.rank, value, ops[op])
 
     def barrier(self) -> None:
         self.trace.collective("barrier", 0)
-        self.machine.collective.combine(0, lambda vs: 0)
-
-    # -- accounting -----------------------------------------------------------------
-
-    def work(self, amount: float) -> None:
-        self.trace.compute(amount)
-
-    def check(self, count: int = 1) -> None:
-        self.trace.check(count)
-
-    def member(self, index: int, point, overrides=None) -> bool:
-        env = dict(self.env)
-        if overrides:
-            env.update(overrides)
-        return self.member_fns[index](env, point)
+        self.machine.combine(self.rank, 0, lambda vs: 0)
 
 
 @dataclass
@@ -150,11 +125,18 @@ class RankResult:
 class Machine:
     """Runs a node program on ``nprocs`` simulated processors."""
 
-    def __init__(self, nprocs: int):
+    def __init__(
+        self, nprocs: int, recv_timeout_s: Optional[float] = None
+    ):
         self.nprocs = nprocs
+        self.recv_timeout_s = (
+            recv_timeout_s
+            if recv_timeout_s is not None
+            else default_recv_timeout()
+        )
         self._channels: Dict[Tuple[int, int], queue.Queue] = {}
         self._channel_lock = threading.Lock()
-        self.collective = _Collective(nprocs)
+        self.collective = _Collective(nprocs, self.recv_timeout_s)
 
     def channel(self, src: int, dest: int) -> queue.Queue:
         key = (src, dest)
@@ -162,6 +144,24 @@ class Machine:
             if key not in self._channels:
                 self._channels[key] = queue.Queue()
             return self._channels[key]
+
+    # -- transport hooks (overridden by the sequential machine) -----------------
+
+    def put_message(self, src, dest, tag, indices, data) -> None:
+        self.channel(src, dest).put((tag, indices, data))
+
+    def get_message(self, src, dest, tag):
+        try:
+            return self.channel(src, dest).get(
+                timeout=self.recv_timeout_s
+            )
+        except queue.Empty:
+            raise CommunicationError(
+                f"rank {dest} timed out receiving {tag!r} from {src}"
+            ) from None
+
+    def combine(self, rank: int, value, op):
+        return self.collective.combine(value, op)
 
     def run(
         self,

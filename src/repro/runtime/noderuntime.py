@@ -1,0 +1,85 @@
+"""The abstract runtime API generated node programs run against.
+
+The SPMD emitter targets exactly this surface: ``rt.send`` / ``rt.recv`` /
+``rt.allreduce`` / ``rt.barrier`` for communication, ``rt.work`` /
+``rt.check`` for cost accounting, ``rt.member`` for fallback set guards,
+and the ``env`` / ``arrays`` / ``lbounds`` / ``scalars`` / ``red_base`` /
+``inplace`` state dictionaries.  Each execution backend provides a concrete
+subclass: the thread-simulated :class:`~repro.runtime.machine.NodeRuntime`,
+and the multiprocess worker's shared-memory implementation in
+:mod:`repro.runtime.backends.mp`.
+
+Only the four communication primitives differ between backends; state
+handling, tracing hooks, and guard evaluation are shared here.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .trace import Trace
+
+
+class NodeRuntimeBase(abc.ABC):
+    """Backend-independent half of the node-program runtime protocol."""
+
+    def __init__(
+        self,
+        rank: int,
+        nprocs: int,
+        env: Dict[str, int],
+        arrays: Dict[str, np.ndarray],
+        lbounds: Dict[str, Tuple[int, ...]],
+        scalars: Dict[str, float],
+    ):
+        self.rank = rank
+        self.nprocs = nprocs
+        self.env = env
+        self.arrays = arrays
+        self.lbounds = lbounds
+        self.scalars = scalars
+        self.trace = Trace(rank)
+        #: membership closures for guards the emitter could not express
+        #: inline; registered by the harness.
+        self.member_fns: List[Callable[..., bool]] = []
+        #: pre-nest values of '+'-reduction scalars.
+        self.red_base: Dict[str, float] = {}
+        #: runtime-evaluated in-place contiguity flags, by name.
+        self.inplace: Dict[str, bool] = {}
+
+    # -- communication (backend-specific) ---------------------------------------
+
+    @abc.abstractmethod
+    def send(
+        self, dest: int, tag, values, indices=None, inplace: bool = False
+    ) -> None:
+        """Buffered (non-blocking) send of ``values`` to ``dest``."""
+
+    @abc.abstractmethod
+    def recv(self, src: int, tag, inplace: bool = False):
+        """Blocking receive; returns ``(indices, values)`` from ``src``."""
+
+    @abc.abstractmethod
+    def allreduce(self, op: str, value: float) -> float:
+        """Combine ``value`` across all ranks with ``op`` in {'+','max','min'}."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+
+    # -- accounting (shared) ----------------------------------------------------
+
+    def work(self, amount: float) -> None:
+        self.trace.compute(amount)
+
+    def check(self, count: int = 1) -> None:
+        self.trace.check(count)
+
+    def member(self, index: int, point, overrides=None) -> bool:
+        env = dict(self.env)
+        if overrides:
+            env.update(overrides)
+        return self.member_fns[index](env, point)

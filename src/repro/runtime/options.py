@@ -1,0 +1,58 @@
+"""Runtime options: knobs for *executing* compiled programs.
+
+These are deliberately separate from :class:`repro.core.options.CompilerOptions`
+— compiler options change the generated code, runtime options change how a
+given node program is launched (which backend, how many ranks, how long a
+blocking receive may wait before the run is declared deadlocked).
+
+The receive timeout can also be set process-wide through the
+``REPRO_RECV_TIMEOUT_S`` environment variable; an explicit
+:class:`RuntimeOptions` value always wins.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+#: Environment variable consulted for the default blocking-receive timeout.
+RECV_TIMEOUT_ENV = "REPRO_RECV_TIMEOUT_S"
+
+_FALLBACK_RECV_TIMEOUT_S = 60.0
+
+
+def default_recv_timeout() -> float:
+    """The blocking-receive timeout (seconds) from the environment.
+
+    Falls back to 60 s when ``REPRO_RECV_TIMEOUT_S`` is unset or invalid.
+    """
+    raw = os.environ.get(RECV_TIMEOUT_ENV)
+    if raw is None:
+        return _FALLBACK_RECV_TIMEOUT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        return _FALLBACK_RECV_TIMEOUT_S
+    return value if value > 0 else _FALLBACK_RECV_TIMEOUT_S
+
+
+@dataclass
+class RuntimeOptions:
+    """Execution knobs threaded through every backend.
+
+    ``recv_timeout_s`` bounds how long a blocking receive or collective
+    waits before surfacing :class:`~repro.runtime.machine.CommunicationError`
+    (a deadlocked SPMD program must fail, not hang).  ``run_timeout_s``
+    bounds the whole launch, covering ranks stuck outside communication.
+    """
+
+    backend: str = "threads"
+    recv_timeout_s: float = None  # type: ignore[assignment]
+    run_timeout_s: float = 600.0
+
+    def __post_init__(self):
+        if self.recv_timeout_s is None:
+            self.recv_timeout_s = default_recv_timeout()
+
+    def with_(self, **changes) -> "RuntimeOptions":
+        return replace(self, **changes)

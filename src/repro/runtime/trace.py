@@ -11,7 +11,7 @@ performance *shape* from the replay.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 
 @dataclass
@@ -45,7 +45,7 @@ class CollectiveEvent:
     bytes: int
 
 
-Event = object
+Event = Union[ComputeEvent, SendEvent, RecvEvent, CollectiveEvent]
 
 
 @dataclass
@@ -111,4 +111,21 @@ class RunStatistics:
             total_checks=sum(t.buffer_checks for t in traces),
             max_compute=max((t.compute_units for t in traces), default=0.0),
             total_compute=sum(t.compute_units for t in traces),
+        )
+
+    def merge(self, other: "RunStatistics") -> "RunStatistics":
+        """Combine summaries of two disjoint rank groups.
+
+        ``from_traces(a + b) == from_traces(a).merge(from_traces(b))`` —
+        used when per-rank traces are gathered incrementally (e.g. as
+        multiprocess workers report in).
+        """
+        return RunStatistics(
+            nprocs=self.nprocs + other.nprocs,
+            total_messages=self.total_messages + other.total_messages,
+            total_bytes=self.total_bytes + other.total_bytes,
+            total_copies=self.total_copies + other.total_copies,
+            total_checks=self.total_checks + other.total_checks,
+            max_compute=max(self.max_compute, other.max_compute),
+            total_compute=self.total_compute + other.total_compute,
         )

@@ -58,6 +58,37 @@ def test_run_validates(program_file, capsys):
     assert "messages:" in out
 
 
+def test_run_mp_backend_reports_wallclock(program_file, capsys):
+    code = main([
+        "run", program_file, "--backend", "mp", "--nprocs", "4",
+        "--param", "n=17",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "validation: OK" in out
+    assert "backend:    mp" in out
+    assert "measured wall-clock" in out
+    for rank in range(4):
+        assert f"rank {rank}:" in out
+
+
+def test_run_inproc_seq_backend(program_file, capsys):
+    code = main([
+        "run", program_file, "--backend", "inproc-seq", "--nprocs", "2",
+        "--param", "n=17", "--recv-timeout", "5",
+    ])
+    assert code == 0
+    assert "backend:    inproc-seq" in capsys.readouterr().out
+
+
+def test_run_unknown_backend_rejected(program_file):
+    with pytest.raises(SystemExit, match="unknown execution backend"):
+        main([
+            "run", program_file, "--backend", "warp-drive",
+            "--param", "n=17",
+        ])
+
+
 def test_run_with_options(program_file, capsys):
     code = main([
         "run", program_file, "--nprocs", "2", "--param", "n=17",

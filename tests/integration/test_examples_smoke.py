@@ -38,3 +38,11 @@ def test_gauss_example():
     output = _run("gauss_active_vps.py")
     assert "activeSendVPSet" in output
     assert "validated" in output
+
+
+def test_execution_backends_example():
+    output = _run("execution_backends.py")
+    assert "threads" in output
+    assert "inproc-seq" in output
+    assert "mp" in output
+    assert "validated" in output
