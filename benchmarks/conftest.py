@@ -7,16 +7,44 @@ changes.  Absolute numbers differ: the substrate is a simulated machine,
 not the authors' IBM SP-2.
 """
 
+import json
+import platform
 import sys
+from pathlib import Path
 
 import pytest
 
 from repro import CostModel, compile_program, run_compiled
 
+BENCH_DATAPLANE_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_dataplane.json"
+)
+
 
 def emit(line: str = "") -> None:
     """Print a reproduction row (shown with -s; captured otherwise)."""
     print(f"[repro] {line}", file=sys.stderr)
+
+
+def record_dataplane(section: str, payload) -> None:
+    """Read-modify-write one section of ``BENCH_dataplane.json``."""
+    data = {}
+    if BENCH_DATAPLANE_PATH.exists():
+        try:
+            data = json.loads(BENCH_DATAPLANE_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.setdefault("meta", {}).update(
+        {
+            "generated_by": "benchmarks (dataplane + fig7 measured runs)",
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        }
+    )
+    data[section] = payload
+    BENCH_DATAPLANE_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def speedup_series(source, params, proc_counts, options=None,

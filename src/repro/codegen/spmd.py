@@ -1075,26 +1075,14 @@ class _BodyEmitter:
         lbs = self.emitter.array_lbounds(array)
         data_dims = comm_map.out_dims
 
-        def emit_leaf(payload_kind: str):
-            index_tuple = ", ".join(data_dims) + ","
-            if sending:
-                offset = ", ".join(
-                    f"({d}) - {emit_linexpr(lb, rename)}"
-                    for d, lb in zip(data_dims, lbs)
-                )
-                self.w.line(
-                    f"{bufs}.setdefault(_qrank, ([], []))[0]"
-                    f".append(({index_tuple}))"
-                )
-                self.w.line(
-                    f"{bufs}[_qrank][1].append({array}[{offset}])"
-                )
-            else:
-                self.w.line(
-                    f"{bufs}[_qrank] = {bufs}.get(_qrank, 0) + 1"
-                )
-
-        self._emit_loop_fragments(fragments, rename, emit_leaf)
+        if self.options.dataplane == "sections":
+            self._emit_section_fragments(
+                fragments, rename, bufs, sending, array, data_dims
+            )
+        else:
+            self._emit_element_fragments(
+                fragments, rename, bufs, sending, array, data_dims, lbs
+            )
         for _ in range(closes):
             self.w.pop()
         self.w.pop()  # else:
@@ -1105,7 +1093,27 @@ class _BodyEmitter:
             opened_my = 0
 
         # Transfer phase.
-        if sending:
+        if self.options.dataplane == "sections":
+            if sending:
+                self.w.line(f"for _q, _secs in {bufs}.items():")
+                self.w.push()
+                self.w.line(
+                    f"rt.send_section(_q, {tag!r}, {array!r}, _secs, "
+                    f"inplace={inplace_flag})"
+                )
+                self.w.pop()
+            else:
+                self.w.line(f"for _q, _count in sorted({bufs}.items()):")
+                self.w.push()
+                self.w.line("if _count:")
+                self.w.push()
+                self.w.line(
+                    f"rt.recv_section(_q, {tag!r}, {array!r}, "
+                    f"inplace={inplace_flag})"
+                )
+                self.w.pop()
+                self.w.pop()
+        elif sending:
             self.w.line(f"for _q, (_idx, _vals) in {bufs}.items():")
             self.w.push()
             self.w.line(
@@ -1132,6 +1140,132 @@ class _BodyEmitter:
             self.w.pop()
             self.w.pop()
             self.w.pop()
+
+    def _emit_element_fragments(
+        self, fragments, rename, bufs, sending, array, data_dims, lbs
+    ):
+        """Legacy data plane: per-element pack loops (index/value lists)."""
+
+        def emit_leaf(payload_kind: str):
+            index_tuple = ", ".join(data_dims) + ","
+            if sending:
+                offset = ", ".join(
+                    f"({d}) - {emit_linexpr(lb, rename)}"
+                    for d, lb in zip(data_dims, lbs)
+                )
+                self.w.line(
+                    f"{bufs}.setdefault(_qrank, ([], []))[0]"
+                    f".append(({index_tuple}))"
+                )
+                self.w.line(
+                    f"{bufs}[_qrank][1].append({array}[{offset}])"
+                )
+            else:
+                self.w.line(
+                    f"{bufs}[_qrank] = {bufs}.get(_qrank, 0) + 1"
+                )
+
+        self._emit_loop_fragments(fragments, rename, emit_leaf)
+
+    def _emit_section_fragments(
+        self, fragments, rename, bufs, sending, array, data_dims
+    ):
+        """Descriptor data plane: lower each qualifying fragment to a
+        strided section (``("S", ...)``) computed with O(dims) arithmetic;
+        fragments whose nests are not rectangular strided spans fall back
+        to per-element loops accumulating an exact fancy-index section
+        (``("F", ...)``).  Receivers only need element *counts* (the
+        sender's descriptors travel with the message), so a qualifying
+        fragment contributes a closed-form count product."""
+        fancy: List = []
+        plans = []
+        for node in fragments:
+            plan = _section_plan(node, data_dims)
+            if plan is None:
+                fancy.append(node)
+            else:
+                plans.append(plan)
+        if fancy:
+            self.w.line("_fidx = []")
+        for guards, loops in plans:
+            opened = 0
+            for guard in guards:
+                self._emit_guard_open(guard, rename)
+                opened += 1
+            for k, loop in enumerate(loops):
+                lower = emit_lower(loop.lowers, rename)
+                upper = emit_upper(loop.uppers, rename)
+                if loop.stride > 1:
+                    base = emit_linexpr(loop.align_base, rename)
+                    self.w.line(
+                        f"_sl{k} = _align({lower}, {base}, {loop.stride})"
+                    )
+                else:
+                    self.w.line(f"_sl{k} = {lower}")
+                self.w.line(f"_su{k} = {upper}")
+            nonempty = " and ".join(
+                f"_sl{k} <= _su{k}" for k in range(len(loops))
+            )
+            self.w.line(f"if {nonempty}:")
+            self.w.push()
+            counts = [
+                f"(_su{k} - _sl{k}) // {loop.stride} + 1"
+                for k, loop in enumerate(loops)
+            ]
+            if sending:
+                triples = ", ".join(
+                    f"(_sl{k}, {count}, {loop.stride})"
+                    for k, (count, loop) in enumerate(zip(counts, loops))
+                )
+                trailing = "," if len(loops) == 1 else ""
+                self.w.line(
+                    f"{bufs}.setdefault(_qrank, [])"
+                    f".append(('S', ({triples}{trailing})))"
+                )
+            else:
+                product = " * ".join(f"({c})" for c in counts)
+                self.w.line(
+                    f"{bufs}[_qrank] = {bufs}.get(_qrank, 0) + {product}"
+                )
+            self.w.pop()
+            for _ in range(opened):
+                self.w.pop()
+
+        if fancy:
+            index_tuple = ", ".join(data_dims) + ","
+
+            def emit_leaf(payload_kind: str):
+                if sending:
+                    self.w.line(f"_fidx.append(({index_tuple}))")
+                else:
+                    self.w.line(
+                        f"{bufs}[_qrank] = {bufs}.get(_qrank, 0) + 1"
+                    )
+
+            self._emit_loop_fragments(fancy, rename, emit_leaf)
+            if sending:
+                self.w.line("if _fidx:")
+                self.w.push()
+                self.w.line(
+                    f"{bufs}.setdefault(_qrank, [])"
+                    f".append(('F', tuple(zip(*_fidx))))"
+                )
+                self.w.pop()
+
+    def _emit_guard_open(self, node: GuardNode, rename) -> None:
+        """Open one guard ``if`` (caller pops the indent)."""
+        terms = [
+            f"({emit_linexpr(c.expr, rename)} "
+            f"{'==' if c.is_equality else '>='} 0)"
+            for c in node.constraints
+        ]
+        terms += [
+            f"({emit_linexpr(expr, rename)}) % {modulus} == 0"
+            for expr, modulus in node.mods
+        ]
+        conds = " and ".join(terms) or "True"
+        self.w.line(f"if {conds}:")
+        self.w.push()
 
     def _block_text(self, ownership: DimOwnership) -> str:
         if isinstance(ownership.block_size, int):
@@ -1195,6 +1329,62 @@ class _BodyEmitter:
             self.w.pop()
             return
         raise CodegenError(f"unknown loop node {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Section-descriptor qualification
+# ---------------------------------------------------------------------------
+
+def _section_plan(node, data_dims: Sequence[str]):
+    """Decide whether one ``generate_loops`` fragment is a rectangular
+    strided span over ``data_dims``.
+
+    Qualifies when the fragment is (optional data-dim-free GuardNodes)
+    wrapping exactly ``len(data_dims)`` LoopNodes in dimension order —
+    each with a single child, bounds/align-base free of *other* data
+    dims — ending in a StmtNode.  Returns ``(guards, loops)`` or ``None``
+    (→ exact fancy-index fallback): triangular conjuncts (inner bounds
+    referencing outer data dims), interior guards from secondary stride
+    equalities, and disjunctive guards all disqualify.
+    """
+    dims_set = set(data_dims)
+
+    def _mentions_data_dim(expr: LinExpr) -> bool:
+        return any(var in dims_set for var, _coeff in expr.terms())
+
+    guards: List[GuardNode] = []
+    while isinstance(node, GuardNode):
+        if node.alternatives:
+            return None
+        if any(c.coeff(d) for c in node.constraints for d in data_dims):
+            return None
+        if any(_mentions_data_dim(expr) for expr, _m in node.mods):
+            return None
+        if len(node.body) != 1:
+            return None
+        guards.append(node)
+        node = node.body[0]
+
+    loops: List[LoopNode] = []
+    for k, dim in enumerate(data_dims):
+        if not isinstance(node, LoopNode) or node.var != dim:
+            return None
+        inner_dims = dims_set - {d for d in data_dims[:k]} - {dim}
+        outer_dims = set(data_dims[:k])
+        referenced = set()
+        for bound in list(node.lowers) + list(node.uppers):
+            referenced.update(v for v, _c in bound.expr.terms())
+        if node.align_base is not None:
+            referenced.update(v for v, _c in node.align_base.terms())
+        if referenced & (outer_dims | inner_dims):
+            return None
+        if len(node.body) != 1:
+            return None
+        loops.append(node)
+        node = node.body[0]
+    if not isinstance(node, StmtNode):
+        return None
+    return guards, loops
 
 
 # ---------------------------------------------------------------------------

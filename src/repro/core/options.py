@@ -27,6 +27,12 @@ class CompilerOptions:
     #: 'direct' references received data in place (check cost unless the
     #: loop is split).
     buffer_mode: str = "overlap"
+    #: communication data plane: 'sections' lowers each comm-set conjunct
+    #: to a strided section descriptor and moves payloads with vectorized
+    #: numpy slice pack/scatter (zero-copy shm views on the mp backend);
+    #: 'elements' is the legacy per-element index/value-list plane, kept
+    #: for A/B benchmarking.
+    dataplane: str = "sections"
 
     def with_(self, **changes) -> "CompilerOptions":
         return replace(self, **changes)

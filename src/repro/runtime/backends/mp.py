@@ -12,16 +12,21 @@ Transport
 ---------
 
 Each rank owns one inbound ``multiprocessing.Queue`` carrying small
-control tuples.  Message *payloads* (float64 vectors) travel through
-single-producer/single-consumer ring buffers carved out of one
+control tuples.  Message *payloads* (contiguous float64 vectors) travel
+through single-producer/single-consumer ring buffers carved out of one
 ``multiprocessing.shared_memory`` segment — one ring per ordered rank
 pair, header ``[head:u64][tail:u64]`` followed by the data area.  The
-sender writes the payload and advances ``tail``; the receiver consumes in
-control-message order and advances ``head``; when a ring lacks space the
-payload falls back to pickling through the control queue, so correctness
-never depends on ring capacity.  Collective partials always use the
-pickle path (they are single scalars) which keeps ring traffic strictly
-FIFO per pair.
+sender writes the payload **directly from an array view** into the ring
+(the ring write is the transfer — no staging ``tobytes()`` copy) and
+advances ``tail``; the receiver consumes in control-message order through
+:meth:`_ShmRing.read_view`, which returns a **zero-copy read-only numpy
+view into the segment** whenever the payload does not wrap around the
+ring boundary; ``head`` advances only after the receiver has scattered
+out of the view (deferred release).  When a ring lacks space the payload
+falls back to pickling through the control queue, so correctness never
+depends on ring capacity.  Collective partials always use the pickle
+path (they are single scalars) which keeps ring traffic strictly FIFO
+per pair.
 
 Failure behavior: a rank that raises reports through the result queue and
 the parent terminates the survivors; a deadlocked receive times out after
@@ -42,6 +47,7 @@ from typing import Callable, Dict, List, Tuple
 import numpy as np
 
 from ..machine import CommunicationError, RankResult
+from ..sections import own_payload, pack_sections, scatter_sections
 from .base import (
     ExecutionBackend,
     LaunchResult,
@@ -62,6 +68,10 @@ _COLL_UP = "__coll_up__"
 _COLL_DOWN = "__coll_dn__"
 
 
+def _noop_release() -> None:
+    pass
+
+
 def _ring_bytes_for(nprocs: int, requested: int) -> int:
     per_pair_cap = max(4096, _TOTAL_SHM_CAP // max(1, nprocs * nprocs))
     return min(requested, per_pair_cap)
@@ -74,11 +84,19 @@ class _ShmRing:
     writer only advances ``tail``, the reader only advances ``head``, and
     every payload is announced through the control queue *after* the write
     completes, so no locking is needed.
+
+    The reader keeps a private ``_cursor`` ahead of the shared ``head``:
+    :meth:`read_view` hands out views at the cursor, and ``head`` only
+    catches up in :meth:`advance` once the consumer is done with the
+    view.  The writer therefore sees a conservative ``head`` and at worst
+    falls back to the pickle path while a view is outstanding — it can
+    never overwrite bytes still being read.
     """
 
     def __init__(self, view: memoryview):
         self.view = view
         self.capacity = len(view) - _RING_HEADER
+        self._cursor: int = 0
 
     def _head(self) -> int:
         return struct.unpack_from("<Q", self.view, 0)[0]
@@ -86,7 +104,9 @@ class _ShmRing:
     def _tail(self) -> int:
         return struct.unpack_from("<Q", self.view, 8)[0]
 
-    def try_write(self, payload: bytes) -> bool:
+    def try_write(self, payload) -> bool:
+        """Write ``payload`` (any C-contiguous buffer) if space allows."""
+        payload = memoryview(payload).cast("B")
         nbytes = len(payload)
         head, tail = self._head(), self._tail()
         if nbytes == 0 or nbytes > self.capacity - (tail - head):
@@ -100,16 +120,41 @@ class _ShmRing:
         struct.pack_into("<Q", self.view, 8, tail + nbytes)
         return True
 
-    def read(self, nbytes: int) -> bytes:
-        head = self._head()
-        pos = head % self.capacity
+    def read_view(self, nbytes: int):
+        """Next ``nbytes`` as a float64 array; zero-copy when possible.
+
+        Returns ``(values, zero_copy)``.  When the payload is contiguous
+        in the ring, ``values`` is a read-only view straight into shared
+        memory (``zero_copy=True``) and stays valid until
+        :meth:`advance`; when it wraps the segment boundary the two spans
+        are assembled into an owned array (``zero_copy=False``).
+        """
+        pos = self._cursor % self.capacity
         first = min(nbytes, self.capacity - pos)
         base = _RING_HEADER
-        data = bytes(self.view[base + pos : base + pos + first])
-        if first < nbytes:
-            data += bytes(self.view[base : base + nbytes - first])
-        struct.pack_into("<Q", self.view, 0, head + nbytes)
-        return data
+        if first == nbytes:
+            values = np.frombuffer(
+                self.view[base + pos : base + pos + nbytes],
+                dtype=np.float64,
+            )
+            values.flags.writeable = False
+            zero_copy = True
+        else:
+            values = np.empty(nbytes // 8, dtype=np.float64)
+            raw = values.view(np.uint8)
+            raw[:first] = np.frombuffer(
+                self.view[base + pos : base + pos + first], dtype=np.uint8
+            )
+            raw[first:] = np.frombuffer(
+                self.view[base : base + nbytes - first], dtype=np.uint8
+            )
+            zero_copy = False
+        self._cursor += nbytes
+        return values, zero_copy
+
+    def advance(self, nbytes: int) -> None:
+        """Release ``nbytes`` consumed via :meth:`read_view`."""
+        struct.pack_into("<Q", self.view, 0, self._head() + nbytes)
 
     def release(self) -> None:
         self.view.release()
@@ -155,15 +200,29 @@ class _Transport:
 
     # -- sending ----------------------------------------------------------------
 
-    def send_user(self, dest: int, tag, indices, values) -> None:
-        payload = np.asarray(values, dtype=np.float64).tobytes()
-        if values and self._rings_out[dest].try_write(payload):
-            msg = ("shm", self.rank, tag, indices, len(values))
-        else:
-            if values:
-                self.shm_fallbacks += 1
-            msg = ("pkl", self.rank, tag, indices, list(values))
-        self.queues[dest].put(msg)
+    def send_user(self, dest: int, tag, meta, payload, owned: bool) -> str:
+        """Ship a contiguous float64 ``payload`` with its ``meta``.
+
+        The ring write moves bytes straight out of ``payload`` (which may
+        be a view into the sender's array — the write completes before we
+        return, so aliasing is safe).  Only the pickle fallback needs an
+        owned snapshot, because ``Queue.put`` serializes asynchronously
+        in a feeder thread; pass ``owned=True`` when ``payload`` is
+        already a private staging buffer.  Returns ``'shm'`` or
+        ``'pkl'``.
+        """
+        nbytes = payload.nbytes
+        if nbytes and self._rings_out[dest].try_write(payload):
+            self.queues[dest].put(
+                ("shm", self.rank, tag, meta, payload.size)
+            )
+            return "shm"
+        if nbytes:
+            self.shm_fallbacks += 1
+        if not owned:
+            payload = payload.copy()
+        self.queues[dest].put(("pkl", self.rank, tag, meta, payload))
+        return "pkl"
 
     def send_internal(self, dest: int, tag, values) -> None:
         self.queues[dest].put(("int", self.rank, tag, None, list(values)))
@@ -185,20 +244,27 @@ class _Transport:
         else:
             self._pending_user[src].append(msg)
 
-    def _materialize(self, msg):
-        kind, src, tag, indices, payload = msg
-        if kind == "shm":
-            raw = self._rings_in[src].read(8 * payload)
-            values = np.frombuffer(raw, dtype=np.float64).tolist()
-        else:
-            values = payload
-        return tag, indices, values
-
     def recv_user(self, src: int, tag):
+        """Next user message from ``src``.
+
+        Returns ``(tag, meta, values, release, zero_copy)``; ``values``
+        is read-only and — when ``zero_copy`` — a view into the shared
+        ring that must not be used after calling ``release()``.
+        """
         pending = self._pending_user[src]
         while not pending:
             self._pump(tag, src)
-        return self._materialize(pending.popleft())
+        kind, _src, got_tag, meta, payload = pending.popleft()
+        if kind == "shm":
+            ring = self._rings_in[src]
+            nbytes = 8 * payload
+            values, zero_copy = ring.read_view(nbytes)
+            return (
+                got_tag, meta, values,
+                lambda: ring.advance(nbytes), zero_copy,
+            )
+        values = np.asarray(payload, dtype=np.float64)
+        return got_tag, meta, values, _noop_release, False
 
     def recv_internal(self, src: int, tag):
         pending = self._pending_internal[src]
@@ -244,24 +310,80 @@ class MPNodeRuntime(NodeRuntimeBase):
 
     def send(self, dest, tag, values, indices=None, inplace=False) -> None:
         start = time.perf_counter()
-        data = list(values)
-        nbytes = 8 * len(data)
+        data, copied = own_payload(values)
+        nbytes = data.nbytes
         self.trace.send(dest, tag, nbytes, 0 if inplace else nbytes)
-        self.transport.send_user(dest, tag, indices, data)
+        self.trace.data_copied(copied)
+        self.transport.send_user(dest, tag, indices, data, owned=True)
         self._clocked(start)
 
     def recv(self, src, tag, inplace=False):
         start = time.perf_counter()
-        got_tag, indices, data = self.transport.recv_user(src, tag)
-        if got_tag != tag:
-            raise CommunicationError(
-                f"rank {self.rank}: expected {tag!r} from {src}, "
-                f"got {got_tag!r}"
-            )
+        got_tag, indices, values, release, _zero_copy = (
+            self.transport.recv_user(src, tag)
+        )
+        try:
+            if got_tag != tag:
+                raise CommunicationError(
+                    f"rank {self.rank}: expected {tag!r} from {src}, "
+                    f"got {got_tag!r}"
+                )
+            # Legacy contract: values come back as a plain list, copied
+            # out of the ring (the caller may hold them indefinitely).
+            data = np.asarray(values, dtype=np.float64).tolist()
+        finally:
+            release()
         nbytes = 8 * len(data)
         self.trace.recv(src, tag, nbytes, 0 if inplace else nbytes)
+        self.trace.data_copied(nbytes)
         self._clocked(start)
         return indices, data
+
+    def send_section(
+        self, dest, tag, name, sections, inplace=False
+    ) -> None:
+        start = time.perf_counter()
+        # The ring write consumes the payload before we return, so a
+        # zero-copy view into the array is safe here (unlike the
+        # in-process machines).
+        payload, copied, viewed = pack_sections(
+            self.arrays[name], self.lbounds[name], sections,
+            force_copy=False,
+        )
+        nbytes = payload.nbytes
+        self.trace.send(dest, tag, nbytes, 0 if inplace else nbytes)
+        path = self.transport.send_user(
+            dest, tag, sections, payload, owned=copied > 0
+        )
+        if path == "shm" and copied == 0:
+            self.trace.data_viewed(viewed)
+        else:
+            self.trace.data_copied(nbytes)
+        self._clocked(start)
+
+    def recv_section(self, src, tag, name, inplace=False) -> None:
+        start = time.perf_counter()
+        got_tag, sections, values, release, zero_copy = (
+            self.transport.recv_user(src, tag)
+        )
+        try:
+            if got_tag != tag:
+                raise CommunicationError(
+                    f"rank {self.rank}: expected {tag!r} from {src}, "
+                    f"got {got_tag!r}"
+                )
+            nbytes = values.nbytes
+            self.trace.recv(src, tag, nbytes, 0 if inplace else nbytes)
+            scatter_sections(
+                self.arrays[name], self.lbounds[name], sections, values
+            )
+        finally:
+            release()
+        if zero_copy:
+            self.trace.data_viewed(nbytes)
+        else:
+            self.trace.data_copied(nbytes)
+        self._clocked(start)
 
     def allreduce(self, op: str, value: float) -> float:
         self.trace.collective("allreduce", 8)

@@ -22,6 +22,7 @@ import numpy as np
 
 from .noderuntime import NodeRuntimeBase
 from .options import default_recv_timeout
+from .sections import own_payload, pack_sections, scatter_sections
 from .trace import Trace
 
 
@@ -80,9 +81,10 @@ class NodeRuntime(NodeRuntimeBase):
     def send(
         self, dest: int, tag, values, indices=None, inplace: bool = False
     ) -> None:
-        data = list(values)
-        nbytes = 8 * len(data)
+        data, copied = own_payload(values)
+        nbytes = data.nbytes
         self.trace.send(dest, tag, nbytes, 0 if inplace else nbytes)
+        self.trace.data_copied(copied)
         self.machine.put_message(self.rank, dest, tag, indices, data)
 
     def recv(self, src: int, tag, inplace: bool = False):
@@ -95,9 +97,48 @@ class NodeRuntime(NodeRuntimeBase):
                 f"rank {self.rank}: expected {tag!r} from {src}, "
                 f"got {got_tag!r}"
             )
-        nbytes = 8 * len(data)
+        data = np.asarray(data, dtype=np.float64)
+        nbytes = data.nbytes
         self.trace.recv(src, tag, nbytes, 0 if inplace else nbytes)
-        return indices, data
+        # Legacy contract: values come back as a plain list.
+        return indices, data.tolist()
+
+    def send_section(
+        self, dest: int, tag, name: str, sections, inplace: bool = False
+    ) -> None:
+        # The channel holds the payload until the receiver scatters it,
+        # and sender/receiver share one address space: the sender must
+        # snapshot (exactly one vectorized copy), zero-copy send would
+        # let later writes to the array corrupt the in-flight message.
+        payload, copied, viewed = pack_sections(
+            self.arrays[name], self.lbounds[name], sections,
+            force_copy=True,
+        )
+        nbytes = payload.nbytes
+        self.trace.send(dest, tag, nbytes, 0 if inplace else nbytes)
+        self.trace.data_copied(copied)
+        self.trace.data_viewed(viewed)
+        self.machine.put_message(self.rank, dest, tag, sections, payload)
+
+    def recv_section(
+        self, src: int, tag, name: str, inplace: bool = False
+    ) -> None:
+        got_tag, sections, payload = self.machine.get_message(
+            src, self.rank, tag
+        )
+        if got_tag != tag:
+            raise CommunicationError(
+                f"rank {self.rank}: expected {tag!r} from {src}, "
+                f"got {got_tag!r}"
+            )
+        nbytes = payload.nbytes
+        self.trace.recv(src, tag, nbytes, 0 if inplace else nbytes)
+        scatter_sections(
+            self.arrays[name], self.lbounds[name], sections, payload
+        )
+        # Scattered straight from the in-flight buffer into array
+        # storage: no staging copy on the receive side.
+        self.trace.data_viewed(nbytes)
 
     def allreduce(self, op: str, value: float) -> float:
         self.trace.collective("allreduce", 8)

@@ -1,10 +1,13 @@
 """The abstract runtime API generated node programs run against.
 
-The SPMD emitter targets exactly this surface: ``rt.send`` / ``rt.recv`` /
-``rt.allreduce`` / ``rt.barrier`` for communication, ``rt.work`` /
-``rt.check`` for cost accounting, ``rt.member`` for fallback set guards,
-and the ``env`` / ``arrays`` / ``lbounds`` / ``scalars`` / ``red_base`` /
-``inplace`` state dictionaries.  Each execution backend provides a concrete
+The SPMD emitter targets exactly this surface: ``rt.send_section`` /
+``rt.recv_section`` for descriptor-based communication (the legacy
+per-element ``rt.send`` / ``rt.recv`` remain for the ``elements`` data
+plane and hand-written node programs), ``rt.allreduce`` / ``rt.barrier``
+for collectives, ``rt.work`` / ``rt.check`` for cost accounting,
+``rt.member`` for fallback set guards, and the ``env`` / ``arrays`` /
+``lbounds`` / ``scalars`` / ``red_base`` / ``inplace`` state
+dictionaries.  Each execution backend provides a concrete
 subclass: the thread-simulated :class:`~repro.runtime.machine.NodeRuntime`,
 and the multiprocess worker's shared-memory implementation in
 :mod:`repro.runtime.backends.mp`.
@@ -61,6 +64,31 @@ class NodeRuntimeBase(abc.ABC):
     @abc.abstractmethod
     def recv(self, src: int, tag, inplace: bool = False):
         """Blocking receive; returns ``(indices, values)`` from ``src``."""
+
+    @abc.abstractmethod
+    def send_section(
+        self, dest: int, tag, name: str, sections, inplace: bool = False
+    ) -> None:
+        """Buffered send of array ``name``'s ``sections`` to ``dest``.
+
+        ``sections`` is a list of section descriptors (see
+        :mod:`repro.runtime.sections`) in global index coordinates; the
+        payload is gathered with vectorized numpy slice reads (zero-copy
+        where the transport allows it) and the descriptors travel with
+        the message.
+        """
+
+    @abc.abstractmethod
+    def recv_section(
+        self, src: int, tag, name: str, inplace: bool = False
+    ) -> None:
+        """Blocking receive scattering directly into array ``name``.
+
+        Uses the descriptors the *sender* shipped (minus this rank's
+        allocation lower bounds), so no enumeration-order agreement is
+        required; the payload is written via strided views instead of
+        index-by-index assignments.
+        """
 
     @abc.abstractmethod
     def allreduce(self, op: str, value: float) -> float:

@@ -1,0 +1,180 @@
+"""Section descriptors: the vectorized communication data plane.
+
+The §3.3 contiguity analysis (:mod:`repro.core.inplace`) proves at compile
+time that communicated data is a union of contiguous/strided array
+sections.  Instead of shipping every message as per-element index/value
+lists packed by generated Python loops, the emitter lowers each
+communication-set conjunct to a compact *section descriptor* and the
+runtime moves the payload with numpy slice assignments — one vectorized
+copy (or none at all on the shared-memory backend) instead of one Python
+iteration per element.
+
+Descriptor format — a message carries a list of sections, each one of:
+
+* ``("S", ((start, count, step), ...))`` — a strided span per array
+  dimension, in **global** index coordinates (the receiver subtracts its
+  own allocation lower bounds).  Enumerates the rectangular lattice
+  ``start, start+step, ..., start+(count-1)*step`` per dimension in
+  C order.
+* ``("F", (indices_dim0, indices_dim1, ...))`` — exact fancy-index
+  fallback for conjuncts the emitter cannot express as a single strided
+  span (e.g. triangular sets whose inner bounds depend on outer data
+  dimensions).  Parallel per-dimension index sequences, also global.
+
+Payloads are C-contiguous 1-D ``float64`` vectors holding the sections
+back to back, in descriptor order.  Because the descriptors travel with
+the message, sender and receiver never need to agree on an enumeration
+order — the receiver scatters exactly what the sender described.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+SLICE = "S"
+FANCY = "F"
+
+
+def section_count(section) -> int:
+    """Number of elements a single section describes."""
+    kind, dims = section
+    if kind == SLICE:
+        total = 1
+        for _start, count, _step in dims:
+            total *= count
+        return total
+    return len(dims[0]) if dims else 0
+
+
+def message_count(sections) -> int:
+    """Total element count of a descriptor list."""
+    return sum(section_count(section) for section in sections)
+
+
+def _local_slices(dims, lbounds) -> Tuple[slice, ...]:
+    return tuple(
+        slice(start - lb, start - lb + (count - 1) * step + 1, step)
+        for (start, count, step), lb in zip(dims, lbounds)
+    )
+
+
+def _local_fancy(dims, lbounds):
+    return tuple(
+        np.asarray(ix, dtype=np.intp) - lb
+        for ix, lb in zip(dims, lbounds)
+    )
+
+
+def _checked_slice_view(array, lbounds, dims):
+    view = array[_local_slices(dims, lbounds)]
+    counts = tuple(count for _start, count, _step in dims)
+    if view.shape != counts:
+        raise ValueError(
+            f"section {dims} exceeds array bounds "
+            f"(shape {array.shape}, lbounds {tuple(lbounds)})"
+        )
+    return view
+
+
+def section_view(array, lbounds, section):
+    """A view (slice sections) or gathered copy (fancy) of one section."""
+    kind, dims = section
+    if kind == SLICE:
+        return _checked_slice_view(array, lbounds, dims)
+    return array[_local_fancy(dims, lbounds)]
+
+
+def pack_sections(array, lbounds, sections, force_copy: bool):
+    """Gather ``sections`` of ``array`` into one contiguous payload.
+
+    Returns ``(payload, copied_bytes, viewed_bytes)`` where ``payload``
+    is a C-contiguous 1-D float64 vector.  When ``force_copy`` is false
+    and the message is a single contiguous slice section, the payload is
+    a zero-copy view into ``array`` (``viewed_bytes`` = payload bytes);
+    every other shape stages exactly one vectorized copy
+    (``copied_bytes`` = payload bytes).  Backends whose transport does
+    not immediately consume the payload (the in-process machines, whose
+    channel holds it until the receiver scatters) must pass
+    ``force_copy=True`` — the sender is free to overwrite the sent region
+    as soon as the call returns.
+    """
+    if len(sections) == 1:
+        kind, dims = sections[0]
+        if kind == SLICE:
+            view = _checked_slice_view(array, lbounds, dims)
+            if view.flags.c_contiguous:
+                flat = view.reshape(-1)
+                if force_copy:
+                    return flat.copy(), flat.nbytes, 0
+                return flat, 0, flat.nbytes
+            flat = np.ascontiguousarray(view).reshape(-1)
+            return flat, flat.nbytes, 0
+        gathered = array[_local_fancy(dims, lbounds)].astype(
+            np.float64, copy=False
+        )
+        flat = np.ascontiguousarray(gathered).reshape(-1)
+        return flat, flat.nbytes, 0
+    total = message_count(sections)
+    out = np.empty(total, dtype=np.float64)
+    pos = 0
+    for section in sections:
+        piece = section_view(array, lbounds, section)
+        n = piece.size
+        out[pos : pos + n] = piece.reshape(-1)
+        pos += n
+    return out, out.nbytes, 0
+
+
+def scatter_sections(array, lbounds, sections, payload) -> int:
+    """Scatter a received ``payload`` into ``array`` per ``sections``.
+
+    Writes directly from the payload (which may be a read-only view into
+    a transport buffer) into array storage via strided slice assignment
+    (slice sections) or advanced indexing (fancy sections).  Returns the
+    number of elements consumed; raises when the descriptor element count
+    disagrees with the payload length.
+    """
+    flat = np.asarray(payload).reshape(-1)
+    pos = 0
+    for kind, dims in sections:
+        if kind == SLICE:
+            counts = tuple(count for _start, count, _step in dims)
+            n = 1
+            for count in counts:
+                n *= count
+            view = _checked_slice_view(array, lbounds, dims)
+            view[...] = flat[pos : pos + n].reshape(counts)
+        else:
+            idx = _local_fancy(dims, lbounds)
+            n = len(dims[0]) if dims else 0
+            array[idx] = flat[pos : pos + n]
+        pos += n
+    if pos != flat.size:
+        raise ValueError(
+            f"descriptor count {pos} != payload length {flat.size}"
+        )
+    return pos
+
+
+def own_payload(values) -> Tuple[np.ndarray, int]:
+    """Coerce legacy ``send(values, indices=...)`` payloads to an owned,
+    contiguous float64 vector.
+
+    Returns ``(payload, copied_bytes)``.  The legacy API has buffered
+    (MPI-style) send semantics — the caller may reuse its buffer as soon
+    as the call returns — so an ndarray argument is snapshotted; list or
+    iterable arguments are materialized, which is itself the one copy
+    (the old ``data = list(values)`` staging copy on top of it is gone).
+    """
+    if isinstance(values, np.ndarray):
+        arr = np.ascontiguousarray(values, dtype=np.float64)
+        if arr is values:
+            arr = values.copy()
+        return arr.reshape(-1), arr.nbytes
+    arr = np.asarray(
+        values if isinstance(values, (list, tuple)) else list(values),
+        dtype=np.float64,
+    )
+    return arr.reshape(-1), arr.nbytes

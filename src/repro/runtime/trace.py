@@ -60,6 +60,13 @@ class Trace:
     copies: int = 0
     buffer_checks: int = 0
     collectives: int = 0
+    # Actual data-plane accounting (how payload bytes really moved, as
+    # opposed to ``copies`` which carries the cost-model's §3.3 charge):
+    # ``bytes_copied`` passed through an intermediate staging buffer,
+    # ``bytes_viewed`` moved directly between array storage and the
+    # transport via numpy views (zero staging copies).
+    bytes_copied: int = 0
+    bytes_viewed: int = 0
 
     def compute(self, amount: float) -> None:
         if amount <= 0:
@@ -81,6 +88,12 @@ class Trace:
         self.events.append(RecvEvent(src, tag, nbytes, copied))
         self.copies += copied
 
+    def data_copied(self, nbytes: int) -> None:
+        self.bytes_copied += nbytes
+
+    def data_viewed(self, nbytes: int) -> None:
+        self.bytes_viewed += nbytes
+
     def collective(self, kind: str, nbytes: int) -> None:
         self.events.append(CollectiveEvent(kind, nbytes))
         self.collectives += 1
@@ -100,6 +113,9 @@ class RunStatistics:
     total_checks: int
     max_compute: float
     total_compute: float
+    #: actual staging copies vs zero-copy view traffic (see Trace).
+    total_bytes_copied: int = 0
+    total_bytes_viewed: int = 0
 
     @staticmethod
     def from_traces(traces: List[Trace]) -> "RunStatistics":
@@ -111,6 +127,8 @@ class RunStatistics:
             total_checks=sum(t.buffer_checks for t in traces),
             max_compute=max((t.compute_units for t in traces), default=0.0),
             total_compute=sum(t.compute_units for t in traces),
+            total_bytes_copied=sum(t.bytes_copied for t in traces),
+            total_bytes_viewed=sum(t.bytes_viewed for t in traces),
         )
 
     def merge(self, other: "RunStatistics") -> "RunStatistics":
@@ -128,4 +146,10 @@ class RunStatistics:
             total_checks=self.total_checks + other.total_checks,
             max_compute=max(self.max_compute, other.max_compute),
             total_compute=self.total_compute + other.total_compute,
+            total_bytes_copied=(
+                self.total_bytes_copied + other.total_bytes_copied
+            ),
+            total_bytes_viewed=(
+                self.total_bytes_viewed + other.total_bytes_viewed
+            ),
         )

@@ -1,0 +1,91 @@
+"""Qualification rules for lowering loop fragments to section descriptors.
+
+``_section_plan`` decides, per ``generate_loops`` fragment, whether the
+emitter may replace the per-element pack loop with a closed-form strided
+section — or must fall back to the exact fancy-index path.
+"""
+
+from repro.codegen.spmd import _section_plan
+from repro.isets import Constraint, LinExpr
+from repro.isets.bounds import SymbolicBound
+from repro.isets.loopgen import GuardNode, LoopNode, StmtNode
+
+
+def lb(expr, divisor=1):
+    return SymbolicBound(expr, divisor, True)
+
+
+def ub(expr, divisor=1):
+    return SymbolicBound(expr, divisor, False)
+
+
+def loop(var, lower, upper, body, stride=1, align_base=None):
+    return LoopNode(
+        var, [lb(lower)], [ub(upper)], stride, align_base, [body]
+    )
+
+
+N = LinExpr.var("n")
+ONE = LinExpr.const(1)
+LEAF = StmtNode("PACK")
+
+
+class TestQualifies:
+    def test_rectangular_nest(self):
+        node = loop("d0", ONE, N, loop("d1", ONE, N, LEAF))
+        plan = _section_plan(node, ("d0", "d1"))
+        assert plan is not None
+        guards, loops = plan
+        assert guards == [] and [n.var for n in loops] == ["d0", "d1"]
+
+    def test_strided_loop(self):
+        node = loop(
+            "d0", ONE, N, LEAF, stride=4, align_base=LinExpr.var("p_0")
+        )
+        assert _section_plan(node, ("d0",)) is not None
+
+    def test_data_dim_free_outer_guard(self):
+        guard = GuardNode(
+            constraints=[Constraint.geq(N, ONE)],
+            body=[loop("d0", ONE, N, LEAF)],
+        )
+        plan = _section_plan(guard, ("d0",))
+        assert plan is not None
+        guards, loops = plan
+        assert len(guards) == 1 and len(loops) == 1
+
+
+class TestFallsBack:
+    def test_triangular_inner_bound(self):
+        inner = loop("d1", LinExpr.var("d0"), N, LEAF)
+        node = loop("d0", ONE, N, inner)
+        assert _section_plan(node, ("d0", "d1")) is None
+
+    def test_guard_mentioning_data_dim(self):
+        guard = GuardNode(
+            constraints=[Constraint.geq(LinExpr.var("d0"), ONE)],
+            body=[loop("d0", ONE, N, LEAF)],
+        )
+        assert _section_plan(guard, ("d0",)) is None
+
+    def test_interior_guard(self):
+        inner = GuardNode(
+            constraints=[Constraint.geq(N, ONE)], body=[LEAF]
+        )
+        node = loop("d0", ONE, N, inner)
+        assert _section_plan(node, ("d0",)) is None
+
+    def test_wrong_dim_order(self):
+        node = loop("d1", ONE, N, loop("d0", ONE, N, LEAF))
+        assert _section_plan(node, ("d0", "d1")) is None
+
+    def test_missing_dim(self):
+        node = loop("d0", ONE, N, LEAF)
+        assert _section_plan(node, ("d0", "d1")) is None
+
+    def test_strided_align_base_on_outer_dim(self):
+        inner = loop(
+            "d1", ONE, N, LEAF, stride=2, align_base=LinExpr.var("d0")
+        )
+        node = loop("d0", ONE, N, inner)
+        assert _section_plan(node, ("d0", "d1")) is None

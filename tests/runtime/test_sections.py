@@ -1,0 +1,157 @@
+"""Unit tests for the section-descriptor data plane helpers."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.sections import (
+    message_count,
+    own_payload,
+    pack_sections,
+    scatter_sections,
+    section_count,
+)
+
+
+def grid(rows=8, cols=8):
+    return np.arange(rows * cols, dtype=np.float64).reshape(rows, cols)
+
+
+class TestCounts:
+    def test_slice_section_count(self):
+        assert section_count(("S", ((3, 4, 2), (0, 5, 1)))) == 20
+
+    def test_fancy_section_count(self):
+        assert section_count(("F", ((1, 2, 5), (0, 0, 3)))) == 3
+
+    def test_message_count_sums_sections(self):
+        secs = [("S", ((0, 2, 1),)), ("F", ((4, 6),))]
+        assert message_count(secs) == 4
+
+
+class TestPackScatterRoundtrip:
+    @pytest.mark.parametrize(
+        "sections",
+        [
+            [("S", ((2, 5, 1),))],  # contiguous 1-D span
+            [("S", ((1, 3, 2),))],  # strided 1-D span
+            [("S", ((2, 3, 1), (1, 4, 1)))],  # 2-D block
+            [("S", ((1, 3, 2), (0, 4, 2)))],  # 2-D strided lattice
+            [("F", ((0, 3, 7), (7, 3, 0)))],  # fancy scatter
+            [
+                ("S", ((0, 2, 1), (0, 8, 1))),
+                ("F", ((5, 6), (1, 2))),
+                ("S", ((7, 1, 1), (2, 3, 1))),
+            ],  # mixed multi-section message
+        ],
+    )
+    def test_roundtrip(self, sections):
+        src = grid()
+        dst = np.full_like(src, -1.0)
+        one_d = len(sections[0][1]) == 1
+        if one_d:
+            src = np.arange(16, dtype=np.float64)
+            dst = np.full_like(src, -1.0)
+        payload, copied, viewed = pack_sections(
+            src, (0,) * src.ndim, sections, force_copy=True
+        )
+        assert payload.flags.c_contiguous and payload.dtype == np.float64
+        assert payload.size == message_count(sections)
+        assert copied == payload.nbytes and viewed == 0
+        consumed = scatter_sections(
+            dst, (0,) * dst.ndim, sections, payload
+        )
+        assert consumed == payload.size
+        # Every described element landed; nothing else was touched.
+        from repro.runtime.sections import section_view
+
+        for section in sections:
+            np.testing.assert_array_equal(
+                section_view(dst, (0,) * dst.ndim, section),
+                section_view(src, (0,) * src.ndim, section),
+            )
+
+    def test_global_coordinates_use_lbounds(self):
+        # Sender allocation starts at global index 1, receiver at 3.
+        src = np.arange(10, dtype=np.float64)
+        dst = np.zeros(10)
+        sections = [("S", ((4, 3, 1),))]  # global 4..6
+        payload, _, _ = pack_sections(src, (1,), sections, force_copy=True)
+        np.testing.assert_array_equal(payload, src[3:6])
+        scatter_sections(dst, (3,), sections, payload)
+        np.testing.assert_array_equal(dst[1:4], src[3:6])
+
+
+class TestCopyViewRules:
+    def test_single_contiguous_section_is_zero_copy(self):
+        src = grid()
+        sections = [("S", ((2, 1, 1), (0, 8, 1)))]  # one full row
+        payload, copied, viewed = pack_sections(
+            src, (0, 0), sections, force_copy=False
+        )
+        assert np.shares_memory(payload, src)
+        assert copied == 0 and viewed == payload.nbytes
+
+    def test_force_copy_snapshots(self):
+        src = grid()
+        sections = [("S", ((2, 1, 1), (0, 8, 1)))]
+        payload, copied, viewed = pack_sections(
+            src, (0, 0), sections, force_copy=True
+        )
+        assert not np.shares_memory(payload, src)
+        assert copied == payload.nbytes and viewed == 0
+        src[2, :] = -7.0  # sender reuses its buffer: payload unaffected
+        assert payload[0] == 16.0
+
+    def test_strided_section_stages_one_copy(self):
+        src = grid()
+        sections = [("S", ((0, 8, 1), (3, 1, 1)))]  # one column
+        payload, copied, viewed = pack_sections(
+            src, (0, 0), sections, force_copy=False
+        )
+        assert not np.shares_memory(payload, src)
+        assert copied == payload.nbytes and viewed == 0
+
+    def test_scatter_accepts_readonly_payload(self):
+        src = np.arange(8, dtype=np.float64)
+        src.flags.writeable = False
+        dst = np.zeros(8)
+        scatter_sections(dst, (0,), [("S", ((0, 8, 1),))], src)
+        np.testing.assert_array_equal(dst, src)
+
+
+class TestErrors:
+    def test_count_payload_mismatch_raises(self):
+        dst = np.zeros(8)
+        with pytest.raises(ValueError):
+            scatter_sections(
+                dst, (0,), [("S", ((0, 3, 1),))],
+                np.zeros(5, dtype=np.float64),
+            )
+
+    def test_out_of_bounds_section_raises(self):
+        dst = np.zeros(8)
+        with pytest.raises(ValueError):
+            scatter_sections(
+                dst, (0,), [("S", ((4, 8, 1),))],
+                np.zeros(8, dtype=np.float64),
+            )
+
+
+class TestOwnPayload:
+    def test_list_is_materialized_once(self):
+        payload, copied = own_payload([1.0, 2.0, 3.0])
+        assert isinstance(payload, np.ndarray)
+        assert payload.dtype == np.float64
+        assert copied == 24
+
+    def test_ndarray_is_snapshotted(self):
+        values = np.arange(4, dtype=np.float64)
+        payload, copied = own_payload(values)
+        assert not np.shares_memory(payload, values)
+        values[:] = 0.0
+        np.testing.assert_array_equal(payload, [0.0, 1.0, 2.0, 3.0])
+        assert copied == 32
+
+    def test_generator_accepted(self):
+        payload, _ = own_payload(float(i) for i in range(3))
+        np.testing.assert_array_equal(payload, [0.0, 1.0, 2.0])

@@ -1,0 +1,128 @@
+"""Edge-case coverage for the mp backend's shared-memory rings.
+
+The ring is exercised directly over a plain ``bytearray`` — the
+single-producer/single-consumer protocol is identical whether the bytes
+live in a ``multiprocessing.shared_memory`` segment or not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.backends.mp import _RING_HEADER, _ShmRing
+
+
+def make_ring(capacity: int) -> _ShmRing:
+    return _ShmRing(memoryview(bytearray(_RING_HEADER + capacity)))
+
+
+def floats(*values) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64)
+
+
+class TestWraparound:
+    def test_payload_wrapping_segment_boundary_reassembles(self):
+        ring = make_ring(64)
+        first = floats(1.0, 2.0, 3.0, 4.0, 5.0)  # 40 bytes
+        assert ring.try_write(first)
+        got, zero_copy = ring.read_view(40)
+        assert zero_copy
+        np.testing.assert_array_equal(got, first)
+        ring.advance(40)
+        # Next write starts at offset 40 and wraps: 24 bytes at the end,
+        # 24 bytes from the start.
+        second = floats(6.0, 7.0, 8.0, 9.0, 10.0, 11.0)  # 48 bytes
+        assert ring.try_write(second)
+        got, zero_copy = ring.read_view(48)
+        assert not zero_copy  # wrapped payloads are assembled copies
+        np.testing.assert_array_equal(got, second)
+        ring.advance(48)
+
+    def test_many_wrapping_messages_stay_fifo(self):
+        ring = make_ring(40)
+        for round_no in range(25):
+            payload = floats(*(round_no * 10.0 + k for k in range(3)))
+            assert ring.try_write(payload)
+            got, _ = ring.read_view(24)
+            np.testing.assert_array_equal(got, payload)
+            ring.advance(24)
+
+
+class TestExactFill:
+    def test_payload_exactly_filling_ring(self):
+        ring = make_ring(64)
+        payload = floats(*range(8))  # exactly 64 bytes
+        assert ring.try_write(payload)
+        # Completely full: nothing more fits until the reader releases.
+        assert not ring.try_write(floats(99.0))
+        got, zero_copy = ring.read_view(64)
+        assert zero_copy
+        np.testing.assert_array_equal(got, payload)
+        ring.advance(64)
+        # Released: a second exact fill succeeds.
+        assert ring.try_write(payload)
+
+    def test_fallback_threshold_is_free_space(self):
+        ring = make_ring(64)
+        assert ring.try_write(floats(1.0, 2.0, 3.0))  # 24 bytes used
+        # 40 bytes free: a 40-byte payload fits, 48 does not.
+        assert ring.try_write(floats(*range(5)))
+        assert not ring.try_write(floats(9.0))
+        ring.read_view(24)
+        ring.advance(24)
+        assert ring.try_write(floats(9.0))
+
+    def test_oversized_payload_always_falls_back(self):
+        ring = make_ring(32)
+        assert not ring.try_write(floats(*range(5)))  # 40 > 32
+
+    def test_empty_payload_never_uses_the_ring(self):
+        ring = make_ring(32)
+        assert not ring.try_write(floats())
+
+
+class TestZeroCopyViews:
+    def test_view_aliases_shared_memory(self):
+        ring = make_ring(64)
+        payload = floats(4.0, 5.0, 6.0)
+        ring.try_write(payload)
+        got, zero_copy = ring.read_view(24)
+        assert zero_copy
+        assert np.shares_memory(
+            got, np.frombuffer(ring.view, dtype=np.uint8)
+        )
+
+    def test_mutating_received_view_raises_and_preserves_ring(self):
+        """A received view is read-only: generated code writing through
+        the buffer must copy first, it can never corrupt the ring."""
+        ring = make_ring(64)
+        payload = floats(4.0, 5.0, 6.0)
+        ring.try_write(payload)
+        got, zero_copy = ring.read_view(24)
+        assert zero_copy and not got.flags.writeable
+        with pytest.raises(ValueError):
+            got[0] = -1.0
+        np.testing.assert_array_equal(got, payload)  # ring untouched
+        ring.advance(24)
+
+    def test_deferred_release_holds_writer_back(self):
+        """head only advances at release: a writer cannot reclaim bytes
+        an outstanding view still references."""
+        ring = make_ring(48)
+        ring.try_write(floats(1.0, 2.0, 3.0, 4.0))  # 32 of 48 bytes
+        view, _ = ring.read_view(32)
+        # Not yet released: only 16 bytes appear free to the writer.
+        assert not ring.try_write(floats(7.0, 8.0, 9.0))
+        assert ring.try_write(floats(7.0, 8.0))
+        np.testing.assert_array_equal(view, [1.0, 2.0, 3.0, 4.0])
+        ring.advance(32)
+        assert ring.try_write(floats(7.0, 8.0, 9.0))
+
+    def test_writes_accept_array_views_without_staging(self):
+        """The writer side takes any C-contiguous buffer — including a
+        live numpy view into an application array."""
+        ring = make_ring(64)
+        array = np.arange(16, dtype=np.float64).reshape(4, 4)
+        ring.try_write(array[1, :])  # zero-copy write from a row view
+        got, _ = ring.read_view(32)
+        np.testing.assert_array_equal(got, array[1, :])
+        ring.advance(32)
