@@ -1,0 +1,182 @@
+"""Cold vs. warm compiles through the cache subsystem (→ ``BENCH_cache.json``).
+
+For each Table 1 workload (synthetic SP with fixed and symbolic processor
+arrays, TOMCATV) this benchmark measures:
+
+* a **cold** compile — empty persistent cache, memoization caches reset;
+* a **warm** compile — same source/options, served from the persistent
+  compile cache (required to be >= 5x faster; in practice it is a pickle
+  load, thousands of times faster);
+* the in-process memoization hit rates the cold compile itself achieved
+  (the Figure 3/4/5 equations revisit the same conjuncts constantly, so
+  the rates are substantial even within one compile).
+
+It also A/B-checks ``CompilerOptions(caching="off")`` on the smallest
+workload: the uncached path must emit a byte-identical node program.
+Results land in ``BENCH_cache.json`` at the repository root.
+"""
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import compile_program
+from repro.cache.manager import caches, reset_caches
+from repro.core.options import CompilerOptions
+from repro.programs import sp_like, tomcatv
+
+from conftest import emit
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_cache.json"
+
+# Same sizing as the Table 1 reproduction: ratios, not absolute seconds,
+# are the claim under test.
+SP_KW = dict(routines=3, nests_per_routine=2)
+
+WORKLOADS = {
+    "sp_fixed": lambda: sp_like(symbolic_procs=False, **SP_KW),
+    "sp_symbolic": lambda: sp_like(symbolic_procs=True, **SP_KW),
+    "tomcatv": lambda: tomcatv(),
+}
+
+
+def _record(section: str, payload) -> None:
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.setdefault("meta", {}).update(
+        {
+            "generated_by": "benchmarks/test_cache_bench.py",
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        }
+    )
+    data[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _memo_rates(cache_stats):
+    """Per-cache and aggregate hit rates from a compile's counter delta."""
+    rates = {}
+    total_hits = total_lookups = 0
+    for name, entry in sorted(cache_stats.items()):
+        hits = entry.get("hits", 0)
+        lookups = hits + entry.get("misses", 0)
+        total_hits += hits
+        total_lookups += lookups
+        if lookups:
+            rates[name] = {
+                "hits": hits,
+                "lookups": lookups,
+                "hit_rate": round(hits / lookups, 4),
+            }
+    rates["aggregate"] = {
+        "hits": total_hits,
+        "lookups": total_lookups,
+        "hit_rate": round(total_hits / max(total_lookups, 1), 4),
+    }
+    return rates
+
+
+@pytest.mark.benchmark(group="cache")
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_cold_vs_warm_persistent_compile(workload, tmp_path):
+    source = WORKLOADS[workload]()
+    options = CompilerOptions(cache_dir=str(tmp_path / "cc"))
+
+    reset_caches()
+    t0 = time.perf_counter()
+    cold = compile_program(source, options)
+    cold_s = time.perf_counter() - t0
+    assert not cold.cache_hit
+
+    t0 = time.perf_counter()
+    warm = compile_program(source, options)
+    warm_s = time.perf_counter() - t0
+    assert warm.cache_hit
+    assert warm.source == cold.source
+
+    speedup = cold_s / max(warm_s, 1e-9)
+    rates = _memo_rates(cold.phases.cache_stats)
+    emit(f"{workload}: cold {cold_s:.2f}s, warm {warm_s * 1e3:.1f}ms "
+         f"({speedup:.0f}x), memo hit rate "
+         f"{100 * rates['aggregate']['hit_rate']:.1f}%")
+
+    # Acceptance criterion: warm persistent recompile >= 5x faster.
+    assert speedup >= 5.0, (
+        f"warm compile only {speedup:.1f}x faster "
+        f"({cold_s:.2f}s cold vs {warm_s:.2f}s warm)"
+    )
+    # The cold compile itself must benefit from memoization.
+    assert rates["aggregate"]["hits"] > 0
+
+    _record(
+        f"persistent.{workload}",
+        {
+            "cold_compile_s": round(cold_s, 3),
+            "warm_compile_s": round(warm_s, 5),
+            "warm_speedup_x": round(speedup, 1),
+            "memo_hit_rates_cold": rates,
+        },
+    )
+
+
+@pytest.mark.benchmark(group="cache")
+def test_uncached_ab_path_identical_and_timed():
+    source = sp_like(symbolic_procs=False, routines=1, nests_per_routine=2)
+
+    reset_caches()
+    t0 = time.perf_counter()
+    warmup = compile_program(source)  # populate the memo caches
+    first_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    memoized = compile_program(source)
+    memo_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    uncached = compile_program(source, CompilerOptions(caching="off"))
+    uncached_s = time.perf_counter() - t0
+
+    # Acceptance criterion: byte-identical emitted programs either way.
+    assert memoized.source == warmup.source == uncached.source
+    assert not uncached.phases.cache_stats
+
+    emit(f"A/B: first {first_s:.2f}s, re-memoized {memo_s:.2f}s, "
+         f"caching=off {uncached_s:.2f}s")
+    _record(
+        "ab.caching_off",
+        {
+            "first_compile_s": round(first_s, 3),
+            "memoized_recompile_s": round(memo_s, 3),
+            "uncached_recompile_s": round(uncached_s, 3),
+            "memo_recompile_speedup_x": round(
+                uncached_s / max(memo_s, 1e-9), 2
+            ),
+            "byte_identical_source": True,
+        },
+    )
+
+
+@pytest.mark.benchmark(group="cache")
+def test_memo_hit_rate_reported_in_phase_table():
+    reset_caches()
+    compiled = compile_program(
+        sp_like(symbolic_procs=False, routines=1, nests_per_routine=1)
+    )
+    table = compiled.phases.format_table("phases")
+    assert "cache" in table and "isets.emptiness" in table
+    top = {
+        name: stats.hit_rate
+        for name, stats in caches.stats().items()
+        if stats.lookups
+    }
+    emit("per-cache hit rates: " + ", ".join(
+        f"{k} {100 * v:.0f}%" for k, v in sorted(top.items())
+    ))

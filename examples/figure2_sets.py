@@ -61,7 +61,7 @@ def main() -> None:
           "max(2,25p+2) <= l2 <= min(N+1,101,25p+26))")
     print()
     print("CPMap({m}) — iterations of the executing processor:")
-    print("         ", cp.local_iterations())
+    print("         ", cp.local_iterations)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI gate: persistent compile-cache round-trip.
+
+Compiles a set of benchmark programs twice against one shared cache
+directory and asserts, for each program:
+
+* the second compile is served from the persistent cache (``cache_hit``);
+* cold and warm artifacts emit **byte-identical** node programs;
+* the ``caching="off"`` A/B path emits that same byte-identical program;
+* the warm compile is faster than the cold one.
+
+Exits non-zero (with a diagnostic) on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/cache_roundtrip.py [--cache-dir DIR]
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro import compile_program
+from repro.cache.manager import reset_caches
+from repro.core.options import CompilerOptions
+from repro.programs import sp_like
+
+JACOBI_1D = """
+program roundtrip
+  parameter n
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, n
+    b(i) = i
+    a(i) = 0.0
+  end do
+  do i = 2, n - 1
+    a(i) = b(i-1) + b(i+1)
+  end do
+end
+"""
+
+
+def programs():
+    return {
+        "jacobi_1d": JACOBI_1D,
+        "sp_small_fixed": sp_like(
+            symbolic_procs=False, routines=1, nests_per_routine=2
+        ),
+        "sp_small_symbolic": sp_like(
+            symbolic_procs=True, routines=1, nests_per_routine=1
+        ),
+    }
+
+
+def check(name: str, source: str, cache_dir: str) -> None:
+    options = CompilerOptions(cache_dir=cache_dir)
+
+    reset_caches()
+    t0 = time.perf_counter()
+    cold = compile_program(source, options)
+    cold_s = time.perf_counter() - t0
+    if cold.cache_hit:
+        raise AssertionError(f"{name}: first compile unexpectedly warm")
+
+    t0 = time.perf_counter()
+    warm = compile_program(source, options)
+    warm_s = time.perf_counter() - t0
+    if not warm.cache_hit:
+        raise AssertionError(f"{name}: second compile missed the cache")
+    if warm.source != cold.source:
+        raise AssertionError(f"{name}: warm artifact differs from cold")
+    if warm_s >= cold_s:
+        raise AssertionError(
+            f"{name}: warm compile not faster "
+            f"({warm_s:.3f}s vs {cold_s:.3f}s cold)"
+        )
+
+    uncached = compile_program(source, CompilerOptions(caching="off"))
+    if uncached.source != cold.source:
+        raise AssertionError(
+            f"{name}: caching=off emitted a different program"
+        )
+
+    print(
+        f"ok {name}: cold {cold_s:.2f}s, warm {warm_s * 1e3:.1f}ms "
+        f"({cold_s / max(warm_s, 1e-9):.0f}x), caching=off identical"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared cache directory (default: a tmp dir)")
+    args = parser.parse_args(argv)
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-cc-")
+    print(f"cache dir: {cache_dir}")
+    failures = 0
+    for name, source in programs().items():
+        try:
+            check(name, source, cache_dir)
+        except AssertionError as exc:
+            print(f"FAIL {exc}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,17 +5,23 @@ Usage::
     python -m repro compile prog.hpf [--source | --listing | --phases]
     python -m repro run prog.hpf --nprocs 4 --param n=64 --param niter=3
     python -m repro sets '{[i] : 1 <= i <= 20 and exists(a : i = 3a)}'
+    python -m repro cache stats|clear [--cache-dir DIR]
 
 ``compile`` prints the compilation listing (default), the generated SPMD
 node program, or the phase-time breakdown.  ``run`` executes on the
 simulated machine, validates against the serial interpreter, and reports
 messages/bytes and the cost-model prediction.  ``sets`` evaluates a set
 expression and enumerates it (small sets; parameters via --param).
+``cache`` inspects or clears the persistent compile cache; ``compile``
+and ``run`` consult that cache when ``--cache-dir`` is given (default:
+``$REPRO_CACHE_DIR`` when set), making recompiles of unchanged programs
+near-free.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 from typing import Dict, List
@@ -46,6 +52,8 @@ def _options_from(args) -> "CompilerOptions":
         loop_split=args.loop_split,
         active_vp=not args.no_active_vp,
         buffer_mode=args.buffer_mode,
+        caching=args.caching,
+        cache_dir=args.cache_dir,
     )
 
 
@@ -60,6 +68,13 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable active-VP restriction (§4.1)")
     parser.add_argument("--buffer-mode", choices=("overlap", "direct"),
                         default="overlap")
+    parser.add_argument("--caching", choices=("on", "off"), default="on",
+                        help="'off' bypasses set-operation memoization and "
+                             "the persistent compile cache (A/B path)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=os.environ.get("REPRO_CACHE_DIR"),
+                        help="persistent compile-cache directory (default: "
+                             "$REPRO_CACHE_DIR if set, else disabled)")
 
 
 def cmd_compile(args) -> int:
@@ -70,7 +85,10 @@ def cmd_compile(args) -> int:
     if args.source:
         print(compiled.source)
     elif args.phases:
-        print(compiled.phases.format_table("compile-time phases"))
+        title = "compile-time phases"
+        if compiled.cache_hit:
+            title += " (artifact served from the compile cache)"
+        print(compiled.phases.format_table(title))
     else:
         print(compiled.listing())
     return 0
@@ -119,6 +137,16 @@ def cmd_run(args) -> int:
                 if t.comm_wall_s else ""
             )
             print(f"  rank {t.rank}: {t.wall_s * 1e3:.3f} ms{comm}")
+    cache_stats = compiled.phases.cache_stats
+    if compiled.cache_hit:
+        print("compile cache: warm (artifact reused)")
+    elif cache_stats:
+        hits = sum(e.get("hits", 0) for e in cache_stats.values())
+        lookups = hits + sum(
+            e.get("misses", 0) for e in cache_stats.values()
+        )
+        print(f"set-op memoization: {hits}/{lookups} lookups hit "
+              f"({100.0 * hits / max(lookups, 1):.1f}%)")
     for name in sorted(outcome.results[0].scalars):
         print(f"scalar {name} = {outcome.results[0].scalars[name]}")
     return 0
@@ -146,6 +174,40 @@ def cmd_sets(args) -> int:
             print("  ", point)
         if len(points) > args.limit:
             print(f"   ... {len(points) - args.limit} more")
+    return 0
+
+
+def _resolve_cache_dir(args) -> str:
+    from .cache.persist import default_cache_dir
+
+    return args.cache_dir or default_cache_dir()
+
+
+def cmd_cache_stats(args) -> int:
+    from .cache.manager import caches
+    from .cache.persist import CompileCache
+
+    cache = CompileCache(_resolve_cache_dir(args))
+    stats = cache.stats()
+    print(f"compile cache: {stats['dir']}")
+    print(f"  artifacts: {stats['entries']} "
+          f"({stats['bytes'] / 1024.0:.1f} KiB)")
+    rows = [s for s in caches.stats().values() if s.lookups or s.size]
+    if rows:
+        print("in-process memoization caches:")
+        for s in rows:
+            print(f"  {s.name:28s} {s.hits:8d} hits {s.misses:8d} misses "
+                  f"{100.0 * s.hit_rate:6.1f}% "
+                  f"{s.size}/{s.maxsize} entries")
+    return 0
+
+
+def cmd_cache_clear(args) -> int:
+    from .cache.persist import CompileCache
+
+    cache = CompileCache(_resolve_cache_dir(args))
+    removed = cache.clear()
+    print(f"removed {removed} artifact(s) from {cache.root}")
     return 0
 
 
@@ -190,6 +252,21 @@ def main(argv=None) -> int:
     p_sets.add_argument("--param", action="append", metavar="NAME=VALUE")
     p_sets.add_argument("--limit", type=int, default=50)
     p_sets.set_defaults(func=cmd_sets)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent compile cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    p_cstats = cache_sub.add_parser("stats", help="show cache contents")
+    p_cstats.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="cache directory (default: $REPRO_CACHE_DIR "
+                               "or ~/.cache/repro-dhpf)")
+    p_cstats.set_defaults(func=cmd_cache_stats)
+    p_cclear = cache_sub.add_parser("clear", help="delete cached artifacts")
+    p_cclear.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="cache directory (default: $REPRO_CACHE_DIR "
+                               "or ~/.cache/repro-dhpf)")
+    p_cclear.set_defaults(func=cmd_cache_clear)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -309,7 +309,7 @@ class _BodyEmitter:
                     f"opened (communication anchored inside every "
                     f"enclosing loop)"
                 )
-        iters = cp.local_iterations()
+        iters = cp.local_iterations
         restrict = getattr(self, "_section_restrict", None)
         if restrict is not None and not cp.replicated:
             iters = iters.intersect(restrict).simplify()
@@ -442,7 +442,7 @@ class _BodyEmitter:
         restrict = getattr(self, "_section_restrict", None)
         union: Optional[IntegerSet] = None
         for cp in cps:
-            iters = cp.local_iterations()
+            iters = cp.local_iterations
             if restrict is not None:
                 iters = iters.intersect(restrict).simplify()
             projected = iters.project_onto(prefix_vars)
@@ -498,7 +498,7 @@ class _BodyEmitter:
             len(cps) == 1 and len(union.conjuncts) <= 1 and not widened
             and restrict is None
         ):
-            all_dims_set = cps[0].local_iterations()
+            all_dims_set = cps[0].local_iterations
             if len(all_dims_set.conjuncts) <= 1:
                 self._skip_guard = cps[0]
 

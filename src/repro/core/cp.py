@@ -11,6 +11,7 @@ from (virtual) processors to the statement instances they execute.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Optional, Tuple
 
 from ..isets import Conjunct, IntegerMap, IntegerSet, Space
@@ -48,18 +49,19 @@ class CPInfo:
             return self.layout.grid
         raise SemanticError("CP has no associated grid")
 
+    @cached_property
     def local_iterations(self) -> IntegerSet:
-        """``cpIterSet = CPMap({m})``: iterations of the executing proc."""
-        cached = getattr(self, "_local_iters", None)
-        if cached is not None:
-            return cached
+        """``cpIterSet = CPMap({m})``: iterations of the executing proc.
+
+        ``cached_property`` makes the invalidation contract explicit: the
+        value is computed once per instance and lives in the instance
+        ``__dict__`` (CPInfo is treated as immutable after construction;
+        ``del cp.local_iterations`` would invalidate explicitly).
+        """
         if self.replicated:
-            result = self.context.iteration_set()
-        else:
-            binding = dict(zip(self.cp_map.in_dims, self.grid.my_names))
-            result = self.cp_map.fix_input(binding).range().simplify()
-        object.__setattr__(self, "_local_iters", result)
-        return result
+            return self.context.iteration_set()
+        binding = dict(zip(self.cp_map.in_dims, self.grid.my_names))
+        return self.cp_map.fix_input(binding).range().simplify()
 
 
 def recognize_reduction(context: StmtContext) -> Optional[str]:

@@ -47,6 +47,9 @@ class CompiledProgram:
     module: CompiledModule
     analyses: Dict[str, ProcedureAnalysis]
     phases: PhaseTimer
+    #: True when this artifact was loaded from the persistent compile
+    #: cache instead of being compiled (set after load, never stored).
+    cache_hit: bool = False
 
     @property
     def source(self) -> str:
@@ -124,8 +127,49 @@ def compile_program(
     source: Union[str, Program],
     options: Optional[CompilerOptions] = None,
 ) -> CompiledProgram:
-    """Compile mini-HPF source (or an AST) to an SPMD node program."""
+    """Compile mini-HPF source (or an AST) to an SPMD node program.
+
+    Caching behaviour (see :mod:`repro.cache`): with
+    ``options.caching == "off"`` every memoization layer is bypassed —
+    the emitted program is required to be byte-identical either way.
+    With ``options.cache_dir`` set and string source, the persistent
+    compile cache is consulted first and populated on a miss.
+    """
+    from ..cache.manager import caches
+
     options = options or CompilerOptions()
+    if options.caching not in ("on", "off"):
+        raise ValueError(
+            f"CompilerOptions.caching must be 'on' or 'off', "
+            f"got {options.caching!r}"
+        )
+    if options.caching == "off":
+        with caches.disabled():
+            return _compile_program_impl(source, options)
+
+    if options.cache_dir and isinstance(source, str):
+        from ..cache.persist import CompileCache, compute_fingerprint
+
+        cache = CompileCache(options.cache_dir)
+        fingerprint = compute_fingerprint(source, options)
+        loaded = cache.load(fingerprint)
+        if loaded is not None:
+            loaded.cache_hit = True
+            return loaded
+        compiled = _compile_program_impl(source, options)
+        cache.store(fingerprint, compiled)
+        return compiled
+
+    return _compile_program_impl(source, options)
+
+
+def _compile_program_impl(
+    source: Union[str, Program],
+    options: CompilerOptions,
+) -> CompiledProgram:
+    from ..cache.manager import caches
+
+    counters_before = caches.counters()
     phases = PhaseTimer()
 
     with phases.phase("parse"):
@@ -215,6 +259,8 @@ def compile_program(
     with phases.phase("codegen"):
         emitter = SpmdEmitter(program, mapping, analyses, options)
         module = emitter.emit_module()
+    phases.cache_stats = caches.delta(counters_before)
+    phases.freeze()
     return CompiledProgram(
         program, mapping, options, module, analyses, phases
     )

@@ -70,7 +70,7 @@ def compute_split_sets(
     ``references`` are the potentially non-local references of the group;
     references to fully replicated arrays never contribute non-local reads.
     """
-    cp_iter_set = cp.local_iterations()
+    cp_iter_set = cp.local_iterations
     context = cp.context
 
     local_read: Optional[IntegerSet] = None

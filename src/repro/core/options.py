@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 
 @dataclass
@@ -33,6 +34,14 @@ class CompilerOptions:
     #: 'elements' is the legacy per-element index/value-list plane, kept
     #: for A/B benchmarking.
     dataplane: str = "sections"
+    #: 'on' memoizes the pure set operations and enables the persistent
+    #: compile cache; 'off' bypasses every cache layer (uncached A/B path,
+    #: required to emit byte-identical programs).
+    caching: str = "on"
+    #: directory of the persistent compile cache; ``None`` disables
+    #: persistence (the CLI defaults this from ``$REPRO_CACHE_DIR``).
+    #: Not part of the artifact fingerprint.
+    cache_dir: Optional[str] = None
 
     def with_(self, **changes) -> "CompilerOptions":
         return replace(self, **changes)

@@ -20,6 +20,14 @@ class PhaseTimer:
     counts: Dict[str, int] = field(default_factory=dict)
     _stack: List[str] = field(default_factory=list)
     wall_start: float = field(default_factory=time.perf_counter)
+    #: per-compile memoization counters ``{cache: {hits, misses,
+    #: evictions}}``, filled by the driver from the cache-manager delta so
+    #: Table 1 runs report per-cache hit rates next to the phase times.
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: total wall-clock frozen at compile end; kept meaningful when the
+    #: timer travels through the persistent compile cache into another
+    #: process (where ``wall_start`` would be from a different clock).
+    wall_total: float = 0.0
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -35,7 +43,13 @@ class PhaseTimer:
             self._stack.pop()
 
     def total_time(self) -> float:
+        if self.wall_total:
+            return self.wall_total
         return time.perf_counter() - self.wall_start
+
+    def freeze(self) -> None:
+        """Pin :meth:`total_time` to the elapsed wall-clock so far."""
+        self.wall_total = time.perf_counter() - self.wall_start
 
     def report(self) -> List[Tuple[str, float, float]]:
         """(phase, seconds, percent-of-total) rows, hierarchical order."""
@@ -61,4 +75,26 @@ class PhaseTimer:
         lines.append(
             f"{'total wall-clock':40s} {self.total_time():10.3f} {100.0:8.1f}"
         )
+        lines.extend(self.format_cache_stats())
         return "\n".join(lines)
+
+    def format_cache_stats(self) -> List[str]:
+        """Per-cache hit-rate rows for this compile (empty if uncached)."""
+        if not self.cache_stats:
+            return []
+        lines = [
+            "",
+            f"{'cache':28s} {'hits':>10s} {'misses':>10s} "
+            f"{'hit %':>7s} {'evicted':>8s}",
+        ]
+        for name in sorted(self.cache_stats):
+            entry = self.cache_stats[name]
+            hits = entry.get("hits", 0)
+            misses = entry.get("misses", 0)
+            lookups = hits + misses
+            rate = 100.0 * hits / lookups if lookups else 0.0
+            lines.append(
+                f"{name:28s} {hits:10d} {misses:10d} {rate:7.1f} "
+                f"{entry.get('evictions', 0):8d}"
+            )
+        return lines

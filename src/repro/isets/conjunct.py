@@ -18,7 +18,7 @@ from .space import fresh_name
 class Conjunct:
     """An existentially quantified conjunction of affine constraints."""
 
-    __slots__ = ("constraints", "wildcards")
+    __slots__ = ("constraints", "wildcards", "_key")
 
     def __init__(
         self,
@@ -123,10 +123,33 @@ class Conjunct:
     # -- equality / printing ------------------------------------------------------------
 
     def key(self) -> Tuple:
-        """Structural key used for deduplication (wildcards canonicalized)."""
-        renaming = {w: f"_w{i}" for i, w in enumerate(sorted(self.wildcards))}
-        canon = self.rename(renaming)
-        return (frozenset(canon.constraints), len(self.wildcards))
+        """Structural key used for deduplication (wildcards canonicalized).
+
+        Computed lazily and cached on the instance — conjuncts are
+        immutable, and equality/hashing/memoization all funnel through
+        this key, so recomputing the wildcard canonicalization every time
+        dominated profile traces before caching.
+        """
+        try:
+            return self._key
+        except AttributeError:
+            pass
+        if not self.wildcards:
+            key = (frozenset(self.constraints), 0)
+        else:
+            renaming = {
+                w: f"_w{i}" for i, w in enumerate(sorted(self.wildcards))
+            }
+            canon = self.rename(renaming)
+            key = (frozenset(canon.constraints), len(self.wildcards))
+        self._key = key
+        return key
+
+    def __getstate__(self):
+        return (self.constraints, self.wildcards)
+
+    def __setstate__(self, state):
+        self.constraints, self.wildcards = state
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Conjunct):

@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..cache.manager import caches
 from .constraint import EQ, GEQ, Constraint, ceil_div, floor_div
 from .conjunct import Conjunct
 from .errors import InexactOperationError
@@ -31,6 +32,20 @@ from .space import fresh_name
 # sets, and we keep a generous cap so a genuine pathology fails loudly.
 MAX_SPLINTERS = 512
 _MAX_EQ_ITERATIONS = 200
+
+# Memoization of the pure conjunct-level operations (see repro.cache).
+# Emptiness is keyed alpha-canonically (a bool cannot observe wildcard
+# names); every other cache is keyed on the *exact* structure — constraint
+# order and wildcard names included — so a hit replays the byte-identical
+# result a fresh computation would produce.
+_EMPTINESS = caches.register("isets.emptiness", maxsize=200_000)
+_NORMALIZE = caches.register("isets.normalize", maxsize=100_000)
+_REDUNDANCY = caches.register("isets.redundancy", maxsize=100_000)
+_PROJECTION = caches.register("isets.projection", maxsize=50_000)
+
+
+def _exact_key(conjunct: Conjunct) -> tuple:
+    return (conjunct.constraints, conjunct.wildcards)
 
 
 # ---------------------------------------------------------------------------
@@ -45,6 +60,14 @@ def normalize(conjunct: Conjunct) -> Optional[Conjunct]:
     Returns ``None`` when the conjunct is unsatisfiable on structural
     grounds.
     """
+    if not caches.enabled:
+        return _normalize_uncached(conjunct)
+    return _NORMALIZE.memoize(
+        _exact_key(conjunct), lambda: _normalize_uncached(conjunct)
+    )
+
+
+def _normalize_uncached(conjunct: Conjunct) -> Optional[Conjunct]:
     seen: Set[Constraint] = set()
     geqs: Dict[LinExpr, Constraint] = {}
     result: List[Constraint] = []
@@ -350,7 +373,21 @@ def project_out(
     names: Sequence[str],
     approximate: bool = False,
 ) -> List[Conjunct]:
-    """Project several variables out of a conjunct, exactly."""
+    """Project several variables out of a conjunct, exactly; memoized."""
+    if not caches.enabled:
+        return _project_out_uncached(conjunct, names, approximate)
+    key = (_exact_key(conjunct), tuple(names), approximate)
+    cached = _PROJECTION.memoize(
+        key, lambda: _project_out_uncached(conjunct, names, approximate)
+    )
+    return list(cached)
+
+
+def _project_out_uncached(
+    conjunct: Conjunct,
+    names: Sequence[str],
+    approximate: bool = False,
+) -> List[Conjunct]:
     work = [conjunct.with_wildcards(
         [n for n in names if n not in conjunct.wildcards]
     )]
@@ -418,20 +455,19 @@ def _choose_elimination_var(conjunct: Conjunct) -> str:
     return best_var
 
 
-_EMPTINESS_CACHE: dict = {}
-_EMPTINESS_CACHE_LIMIT = 200_000
-
-
 def is_empty_conjunct(conjunct: Conjunct) -> bool:
-    """Exact integer emptiness test (all variables existential); memoized."""
-    key = conjunct.key()
-    cached = _EMPTINESS_CACHE.get(key)
-    if cached is not None:
-        return cached
-    result = _is_empty_conjunct_uncached(conjunct)
-    if len(_EMPTINESS_CACHE) < _EMPTINESS_CACHE_LIMIT:
-        _EMPTINESS_CACHE[key] = result
-    return result
+    """Exact integer emptiness test (all variables existential); memoized.
+
+    Keyed on the alpha-canonical :meth:`Conjunct.key` (emptiness is
+    invariant under wildcard renaming), LRU-bounded and counted in the
+    ``isets.emptiness`` cache — this replaced a module-global dict that
+    grew to 200k entries, never evicted, and leaked state across tests.
+    """
+    if not caches.enabled:
+        return _is_empty_conjunct_uncached(conjunct)
+    return _EMPTINESS.memoize(
+        conjunct.key(), lambda: _is_empty_conjunct_uncached(conjunct)
+    )
 
 
 def _is_empty_conjunct_uncached(conjunct: Conjunct) -> bool:
@@ -455,7 +491,22 @@ def _is_empty_conjunct_uncached(conjunct: Conjunct) -> bool:
 # ---------------------------------------------------------------------------
 
 def constraint_redundant(conjunct: Conjunct, constraint: Constraint) -> bool:
-    """True if ``conjunct`` implies ``constraint``."""
+    """True if ``conjunct`` implies ``constraint``; memoized.
+
+    Keyed exactly (the constraint may mention the conjunct's wildcards, so
+    alpha-canonical keys would conflate different queries).
+    """
+    if not caches.enabled:
+        return _constraint_redundant_uncached(conjunct, constraint)
+    key = (_exact_key(conjunct), constraint)
+    return _REDUNDANCY.memoize(
+        key, lambda: _constraint_redundant_uncached(conjunct, constraint)
+    )
+
+
+def _constraint_redundant_uncached(
+    conjunct: Conjunct, constraint: Constraint
+) -> bool:
     return all(
         is_empty_conjunct(conjunct.with_constraints([clause]))
         for clause in constraint.negated()
@@ -463,7 +514,17 @@ def constraint_redundant(conjunct: Conjunct, constraint: Constraint) -> bool:
 
 
 def remove_redundancies(conjunct: Conjunct) -> Optional[Conjunct]:
-    """Drop inequalities implied by the remaining constraints."""
+    """Drop inequalities implied by the remaining constraints; memoized
+    (exact key — the result keeps the input's wildcard names)."""
+    if not caches.enabled:
+        return _remove_redundancies_uncached(conjunct)
+    return _REDUNDANCY.memoize(
+        (_exact_key(conjunct), None),
+        lambda: _remove_redundancies_uncached(conjunct),
+    )
+
+
+def _remove_redundancies_uncached(conjunct: Conjunct) -> Optional[Conjunct]:
     current = normalize(conjunct)
     if current is None:
         return None

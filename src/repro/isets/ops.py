@@ -23,6 +23,8 @@ from typing import (
     Union,
 )
 
+from ..cache.intern import intern_conjunct, presburger_key
+from ..cache.manager import caches
 from .constraint import EQ, Constraint
 from .conjunct import Conjunct
 from .errors import InexactOperationError, SpaceMismatchError
@@ -36,6 +38,18 @@ from .omega import (
     solve_equalities,
 )
 from .space import Space, fresh_name
+
+# Memoized set algebra on identical operands (see repro.cache): keys are
+# exact structural keys (class, space, ordered conjuncts — wildcard names
+# included), so a cache hit returns precisely what recomputation would.
+_SETALG = caches.register("isets.setalg", maxsize=20_000)
+
+
+def _memoized_op(op: str, compute, *operands):
+    if not caches.enabled:
+        return compute()
+    key = (op,) + tuple(presburger_key(v) for v in operands)
+    return _SETALG.memoize(key, compute)
 
 
 class _Presburger:
@@ -58,7 +72,9 @@ class _Presburger:
             if key in seen:
                 continue
             seen.add(key)
-            cleaned.append(simplified)
+            # Hash-consing: structurally identical conjuncts share one
+            # canonical instance (and its lazily cached keys).
+            cleaned.append(intern_conjunct(simplified))
         self.conjuncts: Tuple[Conjunct, ...] = tuple(cleaned)
 
     # -- interrogation -------------------------------------------------------
@@ -109,6 +125,11 @@ class _Presburger:
 
     def intersect(self, other: "_Presburger") -> "_Presburger":
         other = self._align_other(other)
+        return _memoized_op(
+            "intersect", lambda: self._intersect_impl(other), self, other
+        )
+
+    def _intersect_impl(self, other: "_Presburger") -> "_Presburger":
         conjuncts = [
             a.conjoin(b) for a in self.conjuncts for b in other.conjuncts
         ]
@@ -116,6 +137,11 @@ class _Presburger:
 
     def subtract(self, other: "_Presburger") -> "_Presburger":
         other = self._align_other(other)
+        return _memoized_op(
+            "subtract", lambda: self._subtract_impl(other), self, other
+        )
+
+    def _subtract_impl(self, other: "_Presburger") -> "_Presburger":
         result = list(self.conjuncts)
         for conjunct in other.conjuncts:
             clauses = _complement_conjunct(conjunct)
@@ -155,8 +181,13 @@ class _Presburger:
         """Normalize conjuncts, drop empty/duplicate/subsumed ones.
 
         With ``full=True`` also removes redundant inequalities within each
-        conjunct — more expensive, used before code generation.
+        conjunct — more expensive, used before code generation.  Memoized.
         """
+        return _memoized_op(
+            ("simplify", full), lambda: self._simplify_impl(full), self
+        )
+
+    def _simplify_impl(self, full: bool) -> "_Presburger":
         protected = set(self.space.all_dims()) | set(self.parameters())
         cleaned: List[Conjunct] = []
         for conjunct in self.conjuncts:
@@ -462,6 +493,11 @@ class IntegerMap(_Presburger):
             raise SpaceMismatchError(
                 f"cannot compose {self.space} with {other.space}"
             )
+        return _memoized_op(
+            "then", lambda: self._then_impl(other), self, other
+        )
+
+    def _then_impl(self, other: "IntegerMap") -> "IntegerMap":
         mids = [fresh_name("m") for _ in self.space.out_dims]
         left_renaming = dict(zip(self.space.out_dims, mids))
         right_renaming = dict(zip(other.space.in_dims, mids))

@@ -196,6 +196,9 @@ class RunOutcome:
     timings: List[RankTiming] = field(default_factory=list)
     #: parent-side elapsed wall-clock for the whole launch.
     launch_wall_s: float = 0.0
+    #: per-cache memoization counters of the compile that produced this
+    #: run's program (mirrors ``compiled.phases.cache_stats``).
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def predicted_time(self) -> float:
@@ -302,6 +305,7 @@ def run_compiled(
         backend=backend_obj.name,
         timings=launch.timings,
         launch_wall_s=launch.wall_s,
+        cache_stats=dict(compiled.phases.cache_stats),
     )
 
 

@@ -1,0 +1,37 @@
+"""Shared fixtures: cache isolation for the whole test suite.
+
+The memoization caches (:mod:`repro.cache.manager`) are process-global by
+design; without isolation they would leak state — and hit/miss counters —
+across test modules (the ad-hoc ``_EMPTINESS_CACHE`` they replaced did
+exactly that).  Caches are reset at every module boundary; within a module
+they stay warm, which keeps the suite fast.
+
+``REPRO_CACHE_DIR`` is pointed at a session-temporary directory so CLI
+invocations under test never touch the user's real compile cache.
+"""
+
+import os
+
+import pytest
+
+from repro.cache.manager import reset_caches
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_repro_caches():
+    reset_caches()
+    yield
+    reset_caches()
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_compile_cache(tmp_path_factory):
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-compile-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous

@@ -91,7 +91,7 @@ def test_processor_zero_iterations_concrete():
 
 
 def test_local_iterations_parameterized_by_my_symbol():
-    local = cp.local_iterations()
+    local = cp.local_iterations
     assert "my_p_0" in local.parameters()
     points = enumerate_points(
         local.partial_evaluate({"my_p_0": 3}), {"n": 100}

@@ -116,3 +116,55 @@ def test_sets_with_params(capsys):
 def test_bad_param_rejected(program_file):
     with pytest.raises(SystemExit):
         main(["run", program_file, "--param", "oops"])
+
+
+def test_compile_with_cache_dir_warm_start(program_file, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cc")
+    assert main([
+        "compile", program_file, "--phases", "--cache-dir", cache_dir,
+    ]) == 0
+    cold_out = capsys.readouterr().out
+    assert "served from the compile cache" not in cold_out
+    assert main([
+        "compile", program_file, "--phases", "--cache-dir", cache_dir,
+    ]) == 0
+    warm_out = capsys.readouterr().out
+    assert "served from the compile cache" in warm_out
+
+
+def test_run_reports_cache_lines(program_file, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cc")
+    args = [
+        "run", program_file, "--nprocs", "2", "--param", "n=17",
+        "--backend", "inproc-seq", "--cache-dir", cache_dir,
+    ]
+    assert main(args) == 0
+    cold_out = capsys.readouterr().out
+    assert "set-op memoization:" in cold_out
+    assert main(args) == 0
+    warm_out = capsys.readouterr().out
+    assert "compile cache: warm (artifact reused)" in warm_out
+    assert "validation: OK" in warm_out
+
+
+def test_caching_off_flag(program_file, capsys):
+    assert main([
+        "compile", program_file, "--source", "--caching", "off",
+    ]) == 0
+    off_src = capsys.readouterr().out
+    assert main(["compile", program_file, "--source"]) == 0
+    assert capsys.readouterr().out == off_src
+
+
+def test_cache_stats_and_clear(program_file, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cc")
+    assert main(["compile", program_file, "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "artifacts: 1" in out
+    assert "in-process memoization caches:" in out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 1 artifact(s)" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "artifacts: 0" in capsys.readouterr().out
