@@ -24,7 +24,8 @@ from .core.driver import CompiledProgram, compile_program
 from .core.options import CompilerOptions
 from .runtime.backends import backend_names, get_backend, register_backend
 from .runtime.cost import CostModel
-from .runtime.harness import RunOutcome, run_compiled
+from .runtime.faults import FaultPlan
+from .runtime.harness import RetryPolicy, RunOutcome, run_compiled
 from .runtime.options import RuntimeOptions
 
 __version__ = "1.0.0"
@@ -33,6 +34,8 @@ __all__ = [
     "CompiledProgram",
     "CompilerOptions",
     "CostModel",
+    "FaultPlan",
+    "RetryPolicy",
     "RunOutcome",
     "RuntimeOptions",
     "__version__",

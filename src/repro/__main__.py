@@ -96,6 +96,9 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     from . import compile_program, run_compiled
+    from .runtime.errors import CommunicationError
+    from .runtime.faults import FaultPlan
+    from .runtime.harness import RetryPolicy
     from .runtime.options import RuntimeOptions
 
     source = open(args.program).read()
@@ -105,6 +108,24 @@ def cmd_run(args) -> int:
         runtime_options = runtime_options.with_(
             recv_timeout_s=args.recv_timeout
         )
+    if args.fault_spec:
+        try:
+            plan = FaultPlan.parse(args.fault_spec, seed=args.fault_seed)
+        except ValueError as exc:
+            raise SystemExit(f"--fault-spec: {exc}")
+        runtime_options = runtime_options.with_(fault_plan=plan)
+    fallback = tuple(
+        name.strip()
+        for name in (args.fallback_backends or "").split(",")
+        if name.strip()
+    )
+    if fallback:
+        runtime_options = runtime_options.with_(fallback_backends=fallback)
+    retry_policy = (
+        RetryPolicy(max_attempts=args.retries + 1)
+        if args.retries or fallback
+        else None
+    )
     try:
         outcome = run_compiled(
             compiled,
@@ -113,12 +134,35 @@ def cmd_run(args) -> int:
             validate=not args.no_validate,
             backend=args.backend,
             runtime_options=runtime_options,
+            retry_policy=retry_policy,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
+    except CommunicationError as exc:
+        print(f"run failed: {type(exc).__name__}", file=sys.stderr)
+        print(str(exc), file=sys.stderr)
+        for record in getattr(exc, "attempts", []):
+            print(
+                f"  attempt {record.attempt} [{record.backend}]: "
+                f"{record.outcome}",
+                file=sys.stderr,
+            )
+        return 1
     status = "skipped" if args.no_validate else "OK"
     print(f"validation: {status}")
     print(f"backend:    {outcome.backend}")
+    if len(outcome.attempts) > 1:
+        print("attempts:")
+        for record in outcome.attempts:
+            backoff = (
+                f" (backoff {record.backoff_s * 1e3:.0f} ms)"
+                if record.backoff_s
+                else ""
+            )
+            print(
+                f"  {record.attempt}: [{record.backend}] "
+                f"{record.outcome}{backoff}"
+            )
     print(f"processors: {args.nprocs}")
     print(f"messages:   {outcome.stats.total_messages} "
           f"({outcome.stats.total_bytes} payload bytes, "
@@ -244,6 +288,24 @@ def main(argv=None) -> int:
         "--recv-timeout", type=float, default=None, metavar="SECONDS",
         help="blocking-receive timeout before a run is declared "
              "deadlocked (default: $REPRO_RECV_TIMEOUT_S or 60)")
+    p_run.add_argument(
+        "--fault-spec", default=None, metavar="SPEC",
+        help="inject faults: 'kind[:rank=R][:op=OP][:n=N][:ms=MS]"
+             "[:attempts=A]' joined by ';' — kinds: drop, delay, dup, "
+             "crash, kill, shm-alloc, jitter")
+    p_run.add_argument(
+        "--fault-seed", type=int, default=0, metavar="SEED",
+        help="seed for the fault schedule; the same seed replays the "
+             "same chaos run byte-identically")
+    p_run.add_argument(
+        "--fallback-backends", default=None, metavar="NAMES",
+        help="comma-separated backends the supervisor degrades to after "
+             "the primary exhausts its retries (e.g. 'threads,inproc-seq')")
+    p_run.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-launch up to N times per backend on transient failures "
+             "(rank crash, timeout, launch error), with deterministic "
+             "exponential backoff")
     _add_option_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 

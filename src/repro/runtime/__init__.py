@@ -21,21 +21,51 @@ from .backends import (
     resolve_backend,
 )
 from .cost import CostModel, ReplayResult, replay, speedup_curve
+from .errors import (
+    CommunicationError,
+    LaunchError,
+    RankCrashError,
+    RankDiagnostics,
+    RecvTimeoutError,
+    ResultDivergenceError,
+    RunTimeoutError,
+    decode_exitcode,
+    is_transient,
+)
+from .faults import FaultPlan, FaultSpec, InjectedFault, arm_runtime
 from .harness import (
+    AttemptRecord,
+    RetryPolicy,
     RunOutcome,
     ValidationError,
     build_launch_spec,
+    cross_check_results,
     eval_lang_expr,
     evaluate_bindings,
     run_compiled,
 )
-from .machine import CommunicationError, Machine, NodeRuntime, RankResult
+from .machine import Machine, NodeRuntime, RankResult
 from .noderuntime import NodeRuntimeBase
 from .options import RuntimeOptions, default_recv_timeout
 from .trace import RunStatistics, Trace
 
 __all__ = [
+    "AttemptRecord",
     "CommunicationError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "LaunchError",
+    "RankCrashError",
+    "RankDiagnostics",
+    "RecvTimeoutError",
+    "ResultDivergenceError",
+    "RetryPolicy",
+    "RunTimeoutError",
+    "arm_runtime",
+    "cross_check_results",
+    "decode_exitcode",
+    "is_transient",
     "CostModel",
     "ExecutionBackend",
     "LaunchResult",

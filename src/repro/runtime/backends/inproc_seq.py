@@ -19,15 +19,21 @@ import threading
 from collections import deque
 from typing import Callable, Deque, Dict, Optional, Tuple
 
-from ..machine import CommunicationError, Machine
+from ..errors import RankDiagnostics, RecvTimeoutError
+from ..machine import Machine
 from .threads import ThreadsBackend
 
 
 class SequentialMachine(Machine):
     """A :class:`Machine` whose ranks run under a cooperative token."""
 
-    def __init__(self, nprocs: int, recv_timeout_s: Optional[float] = None):
-        super().__init__(nprocs, recv_timeout_s)
+    def __init__(
+        self,
+        nprocs: int,
+        recv_timeout_s: Optional[float] = None,
+        run_timeout_s: float = 600.0,
+    ):
+        super().__init__(nprocs, recv_timeout_s, run_timeout_s)
         self._cond = threading.Condition()
         self._mail: Dict[Tuple[int, int], Deque] = {}
         self._active: Optional[int] = None
@@ -47,9 +53,33 @@ class SequentialMachine(Machine):
             lambda: self._active == rank or self._deadlocked
         )
         if self._deadlocked:
-            raise CommunicationError(
-                "sequential schedule deadlocked: no rank can make progress"
+            # Deadlock is *proved* structurally, but it is the same
+            # failure a timed-out receive reports on the concurrent
+            # backends — so it carries the same type and payload.
+            raise RecvTimeoutError(
+                "sequential schedule deadlocked: no rank can make "
+                "progress (detected structurally, not by timeout)",
+                diagnostics=[
+                    RankDiagnostics(
+                        rank=rank,
+                        phase="recv",
+                        detail=(
+                            "blocked ranks: "
+                            f"{sorted(self._blocked) or [rank]}; finished: "
+                            f"{sorted(self._finished) or 'none'}"
+                        ),
+                        ring_occupancy=self._mail_occupancy(rank),
+                    )
+                ],
             )
+
+    def _mail_occupancy(self, dest: int):
+        # caller holds self._cond
+        return {
+            src: len(box)
+            for (src, d), box in self._mail.items()
+            if d == dest and box
+        }
 
     def _grant_next(self, after: int) -> None:
         # caller holds self._cond

@@ -28,25 +28,42 @@ depends on ring capacity.  Collective partials always use the pickle
 path (they are single scalars) which keeps ring traffic strictly FIFO
 per pair.
 
-Failure behavior: a rank that raises reports through the result queue and
-the parent terminates the survivors; a deadlocked receive times out after
-``RuntimeOptions.recv_timeout_s`` — either way the caller sees
-:class:`CommunicationError`, never a hang.
+Failure behavior: a rank that raises ships a :class:`RankDiagnostics`
+through the result queue and the parent terminates the survivors
+(``terminate`` → ``join`` → ``kill`` escalation, so a wedged worker never
+leaks); a deadlocked receive times out after
+``RuntimeOptions.recv_timeout_s``.  The caller always sees the *typed*
+failure — :class:`RankCrashError` (with negative exitcodes decoded to
+signal names), :class:`RecvTimeoutError`, :class:`RunTimeoutError`, or
+:class:`LaunchError` — never a hang, and the shared-memory segment is
+unlinked on every exit path.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue as queue_mod
 import struct
 import time
 import traceback
 from collections import deque
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..machine import CommunicationError, RankResult
+from ..errors import (
+    CommunicationError,
+    LaunchError,
+    RankCrashError,
+    RankDiagnostics,
+    RecvTimeoutError,
+    RunTimeoutError,
+    decode_exitcode,
+    trace_tail,
+)
+from ..faults import arm_runtime
+from ..machine import RankResult
 from ..sections import own_payload, pack_sections, scatter_sections
 from .base import (
     ExecutionBackend,
@@ -56,6 +73,8 @@ from .base import (
     RankTiming,
 )
 from ..noderuntime import NodeRuntimeBase
+
+logger = logging.getLogger(__name__)
 
 #: per-pair ring capacity (bytes, data area); total segment size is capped
 #: so large rank counts degrade to the pickle path instead of exhausting
@@ -229,14 +248,32 @@ class _Transport:
 
     # -- receiving --------------------------------------------------------------
 
+    def occupancy(self) -> Dict[int, int]:
+        """Unread bytes sitting in each inbound ring, by source rank."""
+        return {
+            src: ring._tail() - ring._head()
+            for src, ring in self._rings_in.items()
+        }
+
     def _pump(self, want_tag, want_src) -> None:
         """Move one inbound control message into its pending stash."""
         try:
             msg = self.queues[self.rank].get(timeout=self.recv_timeout_s)
         except queue_mod.Empty:
-            raise CommunicationError(
+            raise RecvTimeoutError(
                 f"rank {self.rank} timed out receiving {want_tag!r} "
-                f"from {want_src}"
+                f"from {want_src} after {self.recv_timeout_s:g}s",
+                diagnostics=[
+                    RankDiagnostics(
+                        rank=self.rank,
+                        phase="recv",
+                        detail=(
+                            f"blocked on tag {want_tag!r} from rank "
+                            f"{want_src}"
+                        ),
+                        ring_occupancy=self.occupancy(),
+                    )
+                ],
             ) from None
         kind, src = msg[0], msg[1]
         if kind == "int":
@@ -284,6 +321,10 @@ class _Transport:
 
 class MPNodeRuntime(NodeRuntimeBase):
     """The multiprocess-worker implementation of the runtime protocol."""
+
+    #: each rank owns its interpreter, so ``kill`` faults may deliver a
+    #: real signal and the parent sees a negative exitcode.
+    out_of_process = True
 
     def __init__(
         self,
@@ -429,6 +470,29 @@ class MPNodeRuntime(NodeRuntimeBase):
         return value
 
 
+def _attach_shm(name: str):
+    """Attach the parent's segment without adopting cleanup duties.
+
+    Attaching registers the segment with this process's resource tracker
+    on CPython < 3.13; under the ``spawn`` start method each child owns a
+    *separate* tracker which would then warn about (and unlink!) a
+    segment the parent still owns.  Under ``fork`` the tracker process is
+    shared and registration is idempotent, so unregistering here would
+    instead drop the parent's registration — hence the gate.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    if multiprocessing.get_start_method(allow_none=True) != "fork":
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # tracker internals vary; never fail the rank
+            pass
+    return shm
+
+
 def _worker_main(
     rank: int,
     spec: LaunchSpec,
@@ -437,12 +501,11 @@ def _worker_main(
     shm_name: str,
     ring_bytes: int,
 ) -> None:
-    from multiprocessing import shared_memory
-
     shm = None
     transport = None
+    runtime = None
     try:
-        shm = shared_memory.SharedMemory(name=shm_name)
+        shm = _attach_shm(shm_name)
         transport = _Transport(
             rank,
             spec.nprocs,
@@ -467,6 +530,7 @@ def _worker_main(
             spec.fallback_sets
         )
         runtime.inplace = dict(bindings.inplace)
+        arm_runtime(runtime, spec.options.fault_plan)
         start = time.perf_counter()
         node_main(runtime)
         wall = time.perf_counter() - start
@@ -485,13 +549,20 @@ def _worker_main(
             )
         )
     except BaseException as exc:
+        diag = RankDiagnostics(
+            rank=rank,
+            phase=getattr(runtime, "phase", "startup"),
+            detail=traceback.format_exc(limit=8),
+            trace_tail=(
+                trace_tail(runtime.trace) if runtime is not None else []
+            ),
+            ring_occupancy=(
+                transport.occupancy() if transport is not None else {}
+            ),
+        )
+        kind = "timeout" if isinstance(exc, RecvTimeoutError) else "crash"
         result_queue.put(
-            (
-                "err",
-                rank,
-                f"{type(exc).__name__}: {exc}",
-                traceback.format_exc(),
-            )
+            ("err", rank, kind, f"{type(exc).__name__}: {exc}", diag)
         )
     finally:
         if transport is not None:
@@ -515,11 +586,23 @@ class MultiprocessBackend(ExecutionBackend):
         nprocs = spec.nprocs
         ring_bytes = _ring_bytes_for(nprocs, self.ring_bytes)
         slot = ring_bytes + _RING_HEADER
+        shm_size = max(1, nprocs * nprocs * slot)
+        plan = spec.options.fault_plan
+        if plan is not None and plan.wants_shm_alloc_failure():
+            raise LaunchError(
+                "injected shared-memory allocation failure "
+                f"({shm_size} bytes requested; fault plan seed "
+                f"{plan.seed})"
+            )
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=shm_size)
+        except OSError as exc:
+            raise LaunchError(
+                f"shared-memory allocation of {shm_size} bytes failed: "
+                f"{exc}"
+            ) from exc
         queues = [ctx.Queue() for _ in range(nprocs)]
         result_queue = ctx.Queue()
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(1, nprocs * nprocs * slot)
-        )
         procs = []
         launch_start = time.perf_counter()
         try:
@@ -542,35 +625,47 @@ class MultiprocessBackend(ExecutionBackend):
                 proc.start()
             collected: Dict[int, tuple] = {}
             deadline = launch_start + spec.options.run_timeout_s
-            error = None
+            error: Optional[CommunicationError] = None
             while len(collected) < nprocs:
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
-                    error = "SPMD run did not terminate"
+                    error = RunTimeoutError(
+                        "SPMD run did not terminate within "
+                        f"{spec.options.run_timeout_s:g}s "
+                        f"({len(collected)}/{nprocs} ranks reported)",
+                        diagnostics=[
+                            RankDiagnostics(
+                                rank=rank,
+                                detail="rank never reported a result",
+                                exitcode=procs[rank].exitcode,
+                            )
+                            for rank in range(nprocs)
+                            if rank not in collected
+                        ],
+                    )
                     break
                 try:
                     msg = result_queue.get(timeout=min(remaining, 0.25))
                 except queue_mod.Empty:
-                    for rank, proc in enumerate(procs):
-                        if (
-                            rank not in collected
-                            and proc.exitcode is not None
-                            and proc.exitcode != 0
-                        ):
-                            error = (
-                                f"rank {rank} died with exit code "
-                                f"{proc.exitcode}"
-                            )
-                            break
-                    if error:
+                    error = self._dead_rank_error(procs, collected)
+                    if error is not None:
                         break
                     continue
                 if msg[0] == "err":
-                    error = f"rank {msg[1]} failed: {msg[2]}\n{msg[3]}"
+                    _, rank, kind, summary, diag = msg
+                    cls = (
+                        RecvTimeoutError
+                        if kind == "timeout"
+                        else RankCrashError
+                    )
+                    error = cls(
+                        f"rank {rank} failed: {summary}",
+                        diagnostics=[diag],
+                    )
                     break
                 collected[msg[1]] = msg
             if error is not None:
-                raise CommunicationError(error)
+                raise error
             elapsed = time.perf_counter() - launch_start
             results = []
             timings = []
@@ -582,13 +677,78 @@ class MultiprocessBackend(ExecutionBackend):
                 timings.append(timing)
             return LaunchResult(self.name, results, timings, elapsed)
         finally:
+            self._shutdown(procs, queues + [result_queue], shm)
+
+    @staticmethod
+    def _dead_rank_error(
+        procs, collected
+    ) -> Optional[RankCrashError]:
+        """A typed error for the first uncollected rank whose process died.
+
+        Negative exitcodes are deaths-by-signal and decode to the signal
+        name (``-9`` → ``killed by SIGKILL``), so a rank lost to the OOM
+        killer reads differently from one that called ``exit(1)``.
+        """
+        for rank, proc in enumerate(procs):
+            if (
+                rank not in collected
+                and proc.exitcode is not None
+                and proc.exitcode != 0
+            ):
+                return RankCrashError(
+                    f"rank {rank} died: {decode_exitcode(proc.exitcode)}",
+                    diagnostics=[
+                        RankDiagnostics(
+                            rank=rank,
+                            detail=(
+                                "process exited without reporting a "
+                                "result"
+                            ),
+                            exitcode=proc.exitcode,
+                        )
+                    ],
+                )
+        return None
+
+    @staticmethod
+    def _shutdown(procs, all_queues, shm) -> None:
+        """Reap workers and release IPC resources on every exit path.
+
+        Escalation: ``terminate()`` (SIGTERM) → ``join(5s)`` →
+        ``kill()`` (SIGKILL) for anything still alive → final join.  A
+        rank that survives SIGKILL (unkillable D-state) is logged and
+        abandoned rather than hanging the caller forever.  Queues are
+        drained before closing so worker feeder threads never pin their
+        buffers, and the shared-memory segment is always unlinked.
+        """
+        try:
             for proc in procs:
                 if proc.is_alive():
                     proc.terminate()
             for proc in procs:
                 if proc.pid is not None:
                     proc.join(timeout=5.0)
-            for q in queues + [result_queue]:
+            stubborn = [proc for proc in procs if proc.is_alive()]
+            for proc in stubborn:
+                proc.kill()
+            for proc in stubborn:
+                proc.join(timeout=2.0)
+            for rank, proc in enumerate(procs):
+                if proc.is_alive():
+                    logger.warning(
+                        "rank %d (pid %s) survived SIGKILL; leaking the "
+                        "process",
+                        rank,
+                        proc.pid,
+                    )
+            for q in all_queues:
+                try:
+                    while True:
+                        q.get_nowait()
+                except (queue_mod.Empty, OSError, ValueError):
+                    pass
                 q.close()
+                q.cancel_join_thread()
+        finally:
             shm.close()
             shm.unlink()

@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from typing import List
 
+from ..faults import arm_runtime
 from ..machine import Machine, NodeRuntime
 from .base import (
     ExecutionBackend,
@@ -44,6 +45,7 @@ class ThreadsBackend(ExecutionBackend):
             )
             runtime.member_fns = members
             runtime.inplace = dict(bindings.inplace)
+            arm_runtime(runtime, spec.options.fault_plan)
             return runtime
 
         wall: List[float] = [0.0] * spec.nprocs
@@ -56,7 +58,9 @@ class ThreadsBackend(ExecutionBackend):
                 wall[rt.rank] = time.perf_counter() - start
 
         machine = self.machine_cls(
-            spec.nprocs, recv_timeout_s=spec.options.recv_timeout_s
+            spec.nprocs,
+            recv_timeout_s=spec.options.recv_timeout_s,
+            run_timeout_s=spec.options.run_timeout_s,
         )
         launch_start = time.perf_counter()
         results = machine.run(timed_main, make_runtime)

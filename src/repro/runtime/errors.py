@@ -1,0 +1,181 @@
+"""Typed failure taxonomy for SPMD runs.
+
+Every abnormal outcome of a launch maps onto exactly one subclass of
+:class:`CommunicationError`, so callers (the supervisor, the chaos test
+matrix, CLI users) can branch on *what went wrong* instead of parsing
+message strings:
+
+``RankCrashError``
+    A rank raised, or its process died (negative exitcodes are decoded to
+    signal names: ``-9`` → ``SIGKILL``).  Transient — a retry may succeed.
+``RecvTimeoutError``
+    A blocking receive or collective exceeded ``recv_timeout_s``, or the
+    sequential scheduler proved a structural deadlock.  Transient.
+``RunTimeoutError``
+    The whole launch exceeded ``run_timeout_s`` (ranks wedged outside
+    communication).  Transient.
+``LaunchError``
+    The backend could not even start the run (e.g. shared-memory
+    allocation failed).  Transient — and the natural trigger for falling
+    back to a cheaper backend.
+``ResultDivergenceError``
+    Survivor results disagree with a reference run — the one failure that
+    must *never* be retried into silence.  Not transient.
+
+Each error carries a list of :class:`RankDiagnostics` (failed rank, the
+phase it was in, the tail of its event trace, inbound ring occupancy)
+rendered into the exception message as a readable crash report.  The
+diagnostics are plain picklable dataclasses so multiprocess workers can
+ship them through a result queue.
+"""
+
+from __future__ import annotations
+
+import signal
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class CommunicationError(RuntimeError):
+    """Deadlock, tag mismatch, or rank failure during an SPMD run.
+
+    Root of the failure taxonomy; anything the runtime raises about a
+    run is an instance of this class.  ``transient`` marks whether a
+    supervisor may retry the launch (see :func:`is_transient`).
+    """
+
+    #: may a supervised re-launch plausibly succeed?
+    transient: bool = False
+
+    def __init__(self, message: str, diagnostics: Sequence["RankDiagnostics"] = ()):
+        self.message = message
+        self.diagnostics: List[RankDiagnostics] = list(diagnostics)
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if not self.diagnostics:
+            return self.message
+        lines = [self.message]
+        for diag in self.diagnostics:
+            lines.append(diag.report())
+        return "\n".join(lines)
+
+    def __reduce__(self):
+        return (type(self), (self.message, self.diagnostics))
+
+
+@dataclass
+class RankDiagnostics:
+    """What one rank was doing when a run failed — picklable.
+
+    ``phase`` is the runtime phase the rank was last seen in
+    (``startup``/``compute``/``send``/``recv``/``collective``/``step``);
+    ``trace_tail`` is the last few entries of its event trace;
+    ``ring_occupancy`` maps source rank → unread bytes sitting in that
+    inbound shared-memory ring (mp backend only).
+    """
+
+    rank: int
+    phase: str = "unknown"
+    detail: str = ""
+    trace_tail: List[str] = field(default_factory=list)
+    ring_occupancy: Dict[int, int] = field(default_factory=dict)
+    exitcode: Optional[int] = None
+
+    def report(self) -> str:
+        lines = [f"  rank {self.rank} [phase={self.phase}]"]
+        if self.exitcode is not None:
+            lines.append(f"    exit: {decode_exitcode(self.exitcode)}")
+        if self.detail:
+            for row in self.detail.rstrip().splitlines():
+                lines.append(f"    {row}")
+        if self.trace_tail:
+            lines.append("    trace tail:")
+            for event in self.trace_tail:
+                lines.append(f"      {event}")
+        if self.ring_occupancy:
+            occupied = ", ".join(
+                f"{src}→{nbytes}B"
+                for src, nbytes in sorted(self.ring_occupancy.items())
+                if nbytes
+            )
+            lines.append(f"    inbound rings: {occupied or 'all drained'}")
+        return "\n".join(lines)
+
+
+class RankCrashError(CommunicationError):
+    """A rank raised an exception or its process died."""
+
+    transient = True
+
+
+class RecvTimeoutError(CommunicationError):
+    """A blocking receive or collective timed out (or provably deadlocked)."""
+
+    transient = True
+
+
+class RunTimeoutError(CommunicationError):
+    """The launch as a whole exceeded ``run_timeout_s``."""
+
+    transient = True
+
+
+class LaunchError(CommunicationError):
+    """The backend failed before any rank ran (e.g. shm allocation)."""
+
+    transient = True
+
+
+class ResultDivergenceError(CommunicationError):
+    """Survivor results disagree with a reference run — never retried."""
+
+    transient = False
+
+
+def is_transient(exc: BaseException) -> bool:
+    """May a supervised re-launch of the same spec plausibly succeed?
+
+    Typed errors answer for themselves via their ``transient`` class
+    attribute; anything outside the taxonomy (a compiler bug, a bad
+    spec) is permanent by definition.
+    """
+    return isinstance(exc, CommunicationError) and exc.transient
+
+
+def decode_exitcode(exitcode: int) -> str:
+    """Human-readable account of a process exit code.
+
+    Negative exitcodes are deaths-by-signal
+    (``multiprocessing.Process.exitcode`` convention); they decode to the
+    signal name when the platform knows it.
+    """
+    if exitcode == 0:
+        return "exit code 0"
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:
+            return f"killed by signal {-exitcode}"
+        return f"killed by {name} (signal {-exitcode})"
+    return f"exit code {exitcode}"
+
+
+def trace_tail(trace, limit: int = 6) -> List[str]:
+    """Compact rendering of the last ``limit`` events of a rank trace."""
+    events = getattr(trace, "events", [])
+    return [repr(event) for event in events[-limit:]]
+
+
+__all__ = [
+    "CommunicationError",
+    "LaunchError",
+    "RankCrashError",
+    "RankDiagnostics",
+    "RecvTimeoutError",
+    "ResultDivergenceError",
+    "RunTimeoutError",
+    "decode_exitcode",
+    "is_transient",
+    "trace_tail",
+]

@@ -17,9 +17,12 @@ Responsibilities:
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import random
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +49,11 @@ from .backends import (
     resolve_backend,
 )
 from .cost import CostModel, ReplayResult, replay
+from .errors import (
+    CommunicationError,
+    ResultDivergenceError,
+    is_transient,
+)
 from .machine import RankResult
 from .options import RuntimeOptions
 from .trace import RunStatistics, Trace
@@ -53,6 +61,148 @@ from .trace import RunStatistics, Trace
 
 class ValidationError(AssertionError):
     """Parallel result differs from the serial reference."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor re-launches after *transient* failures.
+
+    ``max_attempts`` is per backend in the chain; backoff grows
+    exponentially with **deterministic** jitter — the jitter fraction is
+    drawn from ``Random((seed, attempt))``, so a supervised chaos run is
+    exactly reproducible, sleeps included.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter_frac: float = 0.25
+    seed: int = 0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before re-launching after global attempt ``attempt``."""
+        base = self.backoff_base_s * self.backoff_factor ** attempt
+        rng = random.Random(f"retrypolicy:{self.seed}:{attempt}")
+        return base * (1.0 + self.jitter_frac * rng.random())
+
+
+@dataclass
+class AttemptRecord:
+    """One supervised launch attempt, successful or not."""
+
+    attempt: int  # global attempt index across the backend chain
+    backend: str
+    outcome: str  # "ok" or the error class name
+    error: str = ""
+    wall_s: float = 0.0
+    backoff_s: float = 0.0  # sleep taken *after* this attempt failed
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+
+def _supervised_launch(spec, backends, policy):
+    """Launch ``spec``, retrying transiently and degrading down the chain.
+
+    Tries each backend up to ``policy.max_attempts`` times.  Permanent
+    failures (``is_transient(exc)`` false — tag mismatches, divergence)
+    raise immediately; transient ones (crashes, timeouts, launch
+    failures) consume the retry budget with backoff, then fall through
+    to the next backend.  The fault plan is re-filtered per *global*
+    attempt index (``FaultPlan.for_attempt``), which is how injected
+    transient faults expire.  Every attempt — including the failed ones
+    behind an eventual success — is recorded; on failure the records are
+    attached to the raised error as ``exc.attempts``.
+    """
+    attempts: List[AttemptRecord] = []
+    plan = spec.options.fault_plan
+    attempt_index = 0
+    last_exc: Optional[CommunicationError] = None
+    total = len(backends) * policy.max_attempts
+    for backend in backends:
+        for _ in range(policy.max_attempts):
+            spec_k = spec
+            if plan is not None:
+                spec_k = dataclasses.replace(
+                    spec,
+                    options=spec.options.with_(
+                        fault_plan=plan.for_attempt(attempt_index)
+                    ),
+                )
+            start = time.perf_counter()
+            try:
+                launch = backend.launch(spec_k)
+            except CommunicationError as exc:
+                record = AttemptRecord(
+                    attempt_index,
+                    backend.name,
+                    type(exc).__name__,
+                    exc.message,
+                    time.perf_counter() - start,
+                )
+                attempts.append(record)
+                last_exc = exc
+                attempt_index += 1
+                if not is_transient(exc):
+                    exc.attempts = attempts
+                    raise
+                if attempt_index < total:
+                    record.backoff_s = policy.backoff_s(attempt_index - 1)
+                    time.sleep(record.backoff_s)
+                continue
+            attempts.append(
+                AttemptRecord(
+                    attempt_index,
+                    backend.name,
+                    "ok",
+                    wall_s=time.perf_counter() - start,
+                )
+            )
+            return launch, backend, attempts
+    assert last_exc is not None
+    last_exc.attempts = attempts
+    raise last_exc
+
+
+def cross_check_results(
+    results: List[RankResult],
+    reference: List[RankResult],
+    context: str = "",
+) -> None:
+    """Raise :class:`ResultDivergenceError` unless two runs agree.
+
+    Compares every rank's arrays and scalars element-wise against a
+    reference run (typically ``inproc-seq``, the deterministic golden
+    backend) — the chaos matrix uses this to prove a fault can corrupt
+    nothing silently.
+    """
+    prefix = f"{context}: " if context else ""
+    if len(results) != len(reference):
+        raise ResultDivergenceError(
+            f"{prefix}rank count diverged: {len(results)} vs "
+            f"{len(reference)} in the reference run"
+        )
+    for got, want in zip(results, reference):
+        for name in want.arrays:
+            if not np.allclose(
+                got.arrays[name], want.arrays[name],
+                rtol=1e-9, atol=1e-9,
+            ):
+                raise ResultDivergenceError(
+                    f"{prefix}array {name!r} on rank {want.rank} "
+                    "diverged from the reference run"
+                )
+        for name in want.scalars:
+            if not np.isclose(
+                got.scalars[name], want.scalars[name],
+                rtol=1e-9, atol=1e-9,
+            ):
+                raise ResultDivergenceError(
+                    f"{prefix}scalar {name!r} on rank {want.rank}: "
+                    f"{got.scalars[name]!r} vs reference "
+                    f"{want.scalars[name]!r}"
+                )
 
 
 def eval_lang_expr(expr: Expr, env: Mapping[str, int]) -> int:
@@ -199,6 +349,9 @@ class RunOutcome:
     #: per-cache memoization counters of the compile that produced this
     #: run's program (mirrors ``compiled.phases.cache_stats``).
     cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: every supervised launch attempt (retries and backend fallbacks
+    #: included) — the last entry is the one that produced ``results``.
+    attempts: List[AttemptRecord] = field(default_factory=list)
 
     @property
     def predicted_time(self) -> float:
@@ -270,20 +423,40 @@ def run_compiled(
     serial_work: Optional[float] = None,
     backend: Optional[str] = None,
     runtime_options: Optional[RuntimeOptions] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    fallback_backends: Optional[Sequence[str]] = None,
 ) -> RunOutcome:
     """Execute the compiled program on ``nprocs`` ranks.
 
     ``backend`` selects the execution substrate (``threads`` default,
     ``mp``, ``inproc-seq``, or any :class:`ExecutionBackend` instance);
     validation and trace replay are identical regardless of backend.
+
+    The launch runs under a supervisor: with a ``retry_policy``,
+    transient failures (rank crashes, timeouts, launch errors) are
+    retried with deterministic exponential backoff, and once the primary
+    backend's budget is exhausted the run degrades down
+    ``fallback_backends`` (default: ``runtime_options.fallback_backends``)
+    in order.  ``RunOutcome.attempts`` records what actually ran; without
+    a policy, a single attempt is made and failures propagate typed
+    (see :mod:`repro.runtime.errors`).
     """
     cost_model = cost_model or CostModel()
     options = runtime_options or RuntimeOptions()
     backend_obj = resolve_backend(
         backend if backend is not None else options.backend
     )
+    chain = (
+        fallback_backends
+        if fallback_backends is not None
+        else options.fallback_backends
+    )
+    backends = [backend_obj] + [resolve_backend(name) for name in chain]
+    policy = retry_policy or RetryPolicy(max_attempts=1)
     spec = build_launch_spec(compiled, params, nprocs, options)
-    launch = backend_obj.launch(spec)
+    launch, backend_obj, attempts = _supervised_launch(
+        spec, backends, policy
+    )
     results = launch.results
     stats = RunStatistics.from_traces([r.trace for r in results])
     replayed = replay([r.trace for r in results], cost_model)
@@ -306,6 +479,7 @@ def run_compiled(
         timings=launch.timings,
         launch_wall_s=launch.wall_s,
         cache_stats=dict(compiled.phases.cache_stats),
+        attempts=attempts,
     )
 
 

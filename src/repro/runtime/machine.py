@@ -15,19 +15,31 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .errors import (
+    CommunicationError,
+    RankCrashError,
+    RankDiagnostics,
+    RecvTimeoutError,
+    RunTimeoutError,
+    trace_tail,
+)
 from .noderuntime import NodeRuntimeBase
 from .options import default_recv_timeout
 from .sections import own_payload, pack_sections, scatter_sections
 from .trace import Trace
 
-
-class CommunicationError(RuntimeError):
-    """Deadlock, tag mismatch, or rank failure during an SPMD run."""
+__all__ = [
+    "CommunicationError",  # canonical home is runtime.errors; re-exported
+    "Machine",
+    "NodeRuntime",
+    "RankResult",
+]
 
 
 class _Collective:
@@ -43,7 +55,7 @@ class _Collective:
         self.result: Any = None
         self.generation = 0
 
-    def combine(self, value, op: Callable[[List[Any]], Any]):
+    def combine(self, value, op: Callable[[List[Any]], Any], rank=None):
         with self.lock:
             generation = self.generation
             self.values.append(value)
@@ -57,7 +69,21 @@ class _Collective:
                     lambda: self.generation != generation,
                     timeout=self.timeout_s,
                 ):
-                    raise CommunicationError("collective timed out")
+                    arrived = len(self.values)
+                    raise RecvTimeoutError(
+                        "collective timed out after "
+                        f"{self.timeout_s:g}s",
+                        diagnostics=[
+                            RankDiagnostics(
+                                rank=-1 if rank is None else rank,
+                                phase="collective",
+                                detail=(
+                                    f"{arrived}/{self.nprocs} ranks had "
+                                    "arrived at the rendezvous"
+                                ),
+                            )
+                        ],
+                    )
             return self.result
 
 
@@ -167,7 +193,10 @@ class Machine:
     """Runs a node program on ``nprocs`` simulated processors."""
 
     def __init__(
-        self, nprocs: int, recv_timeout_s: Optional[float] = None
+        self,
+        nprocs: int,
+        recv_timeout_s: Optional[float] = None,
+        run_timeout_s: float = 600.0,
     ):
         self.nprocs = nprocs
         self.recv_timeout_s = (
@@ -175,9 +204,19 @@ class Machine:
             if recv_timeout_s is not None
             else default_recv_timeout()
         )
+        self.run_timeout_s = run_timeout_s
         self._channels: Dict[Tuple[int, int], queue.Queue] = {}
         self._channel_lock = threading.Lock()
         self.collective = _Collective(nprocs, self.recv_timeout_s)
+
+    def channel_occupancy(self, dest: int) -> Dict[int, int]:
+        """Pending inbound message counts for ``dest``, by source rank."""
+        with self._channel_lock:
+            return {
+                src: chan.qsize()
+                for (src, d), chan in self._channels.items()
+                if d == dest and chan.qsize()
+            }
 
     def channel(self, src: int, dest: int) -> queue.Queue:
         key = (src, dest)
@@ -197,12 +236,25 @@ class Machine:
                 timeout=self.recv_timeout_s
             )
         except queue.Empty:
-            raise CommunicationError(
-                f"rank {dest} timed out receiving {tag!r} from {src}"
+            raise RecvTimeoutError(
+                f"rank {dest} timed out receiving {tag!r} from {src} "
+                f"after {self.recv_timeout_s:g}s",
+                diagnostics=[
+                    RankDiagnostics(
+                        rank=dest,
+                        phase="recv",
+                        detail=(
+                            f"blocked on tag {tag!r} from rank {src}; "
+                            "pending inbound messages by source: "
+                            f"{self.channel_occupancy(dest) or 'none'}"
+                        ),
+                        ring_occupancy=self.channel_occupancy(dest),
+                    )
+                ],
             ) from None
 
     def combine(self, rank: int, value, op):
-        return self.collective.combine(value, op)
+        return self.collective.combine(value, op, rank)
 
     def run(
         self,
@@ -223,17 +275,52 @@ class Machine:
             threading.Thread(target=runner, args=(rank,), daemon=True)
             for rank in range(self.nprocs)
         ]
+        deadline = time.monotonic() + self.run_timeout_s
         for thread in threads:
             thread.start()
         for thread in threads:
-            thread.join(timeout=600.0)
-            if thread.is_alive():
-                raise CommunicationError("SPMD run did not terminate")
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        stuck = [
+            rank
+            for rank, thread in enumerate(threads)
+            if thread.is_alive()
+        ]
+        if stuck:
+            raise RunTimeoutError(
+                "SPMD run did not terminate within "
+                f"{self.run_timeout_s:g}s",
+                diagnostics=[
+                    RankDiagnostics(
+                        rank=rank,
+                        phase=runtimes[rank].phase,
+                        detail="rank thread still running at the deadline",
+                        trace_tail=trace_tail(runtimes[rank].trace),
+                    )
+                    for rank in stuck
+                ],
+            )
+        # Application crashes take precedence over CommunicationErrors:
+        # a dead rank usually *causes* its peers' receive timeouts, and
+        # the root cause is what the caller should see.
         for rank, error in enumerate(errors):
+            if error is None or isinstance(error, CommunicationError):
+                continue
+            raise RankCrashError(
+                f"rank {rank} failed: {error!r}",
+                diagnostics=[
+                    RankDiagnostics(
+                        rank=rank,
+                        phase=runtimes[rank].phase,
+                        detail=f"{type(error).__name__}: {error}",
+                        trace_tail=trace_tail(runtimes[rank].trace),
+                    )
+                ],
+            ) from error
+        for error in errors:
             if error is not None:
-                raise CommunicationError(
-                    f"rank {rank} failed: {error!r}"
-                ) from error
+                # Typed failures travel unchanged: the first failing
+                # rank (in rank order) decides what the caller sees.
+                raise error
         return [
             RankResult(
                 rt.rank, rt.arrays, rt.scalars, rt.trace, rt.env

@@ -23,11 +23,17 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
+from .faults import OP_OF_METHOD
 from .trace import Trace
 
 
 class NodeRuntimeBase(abc.ABC):
     """Backend-independent half of the node-program runtime protocol."""
+
+    #: does this runtime own its OS process?  Controls whether a ``kill``
+    #: fault may deliver a real signal (mp workers) or must degrade to an
+    #: in-process crash (threads / inproc-seq share the interpreter).
+    out_of_process: bool = False
 
     def __init__(
         self,
@@ -52,6 +58,33 @@ class NodeRuntimeBase(abc.ABC):
         self.red_base: Dict[str, float] = {}
         #: runtime-evaluated in-place contiguity flags, by name.
         self.inplace: Dict[str, bool] = {}
+        #: last phase this rank entered — crash-report fodder
+        #: (startup → compute / send / recv / collective / step).
+        self.phase: str = "startup"
+        #: armed fault injector, if any (set by ``faults.arm_runtime``).
+        self.faults = None
+        self._install_phase_tracking()
+
+    def _install_phase_tracking(self) -> None:
+        """Wrap the op methods so ``self.phase`` always names the phase.
+
+        Instance-level wrapping covers every backend's concrete
+        implementation uniformly; on failure the phase is left at the op
+        that raised (the wrapper only resets it on success), so crash
+        reports can say *where* a rank died.
+        """
+        for name, phase in OP_OF_METHOD.items():
+            original = getattr(self, name)
+            setattr(self, name, self._phased(original, phase))
+
+    def _phased(self, original: Callable, phase: str) -> Callable:
+        def tracked(*args, **kwargs):
+            self.phase = phase
+            result = original(*args, **kwargs)
+            self.phase = "compute"
+            return result
+
+        return tracked
 
     # -- communication (backend-specific) ---------------------------------------
 

@@ -14,6 +14,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from .faults import FaultPlan
 
 #: Environment variable consulted for the default blocking-receive timeout.
 RECV_TIMEOUT_ENV = "REPRO_RECV_TIMEOUT_S"
@@ -49,6 +52,13 @@ class RuntimeOptions:
     backend: str = "threads"
     recv_timeout_s: float = None  # type: ignore[assignment]
     run_timeout_s: float = 600.0
+    #: deterministic fault-injection schedule (chaos testing); ``None``
+    #: runs clean.  Picklable, so it reaches out-of-process workers.
+    fault_plan: Optional[FaultPlan] = None
+    #: backends the supervisor may degrade to, in order, after the
+    #: primary backend exhausts its retry budget (e.g.
+    #: ``("threads", "inproc-seq")``).  Empty disables fallback.
+    fallback_backends: Tuple[str, ...] = ()
 
     def __post_init__(self):
         if self.recv_timeout_s is None:
