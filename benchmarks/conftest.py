@@ -19,6 +19,9 @@ from repro import CostModel, compile_program, run_compiled
 BENCH_DATAPLANE_PATH = (
     Path(__file__).resolve().parents[1] / "BENCH_dataplane.json"
 )
+BENCH_KERNELS_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+)
 
 
 def emit(line: str = "") -> None:
@@ -26,24 +29,43 @@ def emit(line: str = "") -> None:
     print(f"[repro] {line}", file=sys.stderr)
 
 
-def record_dataplane(section: str, payload) -> None:
-    """Read-modify-write one section of ``BENCH_dataplane.json``."""
+def _record_json(path: Path, generated_by: str, section: str,
+                 payload) -> None:
+    """Read-modify-write one section of a benchmark JSON file."""
     data = {}
-    if BENCH_DATAPLANE_PATH.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_DATAPLANE_PATH.read_text())
+            data = json.loads(path.read_text())
         except ValueError:
             data = {}
     data.setdefault("meta", {}).update(
         {
-            "generated_by": "benchmarks (dataplane + fig7 measured runs)",
+            "generated_by": generated_by,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
         }
     )
     data[section] = payload
-    BENCH_DATAPLANE_PATH.write_text(
-        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def record_dataplane(section: str, payload) -> None:
+    """Read-modify-write one section of ``BENCH_dataplane.json``."""
+    _record_json(
+        BENCH_DATAPLANE_PATH,
+        "benchmarks (dataplane + fig7 measured runs)",
+        section,
+        payload,
+    )
+
+
+def record_kernels(section: str, payload) -> None:
+    """Read-modify-write one section of ``BENCH_kernels.json``."""
+    _record_json(
+        BENCH_KERNELS_PATH,
+        "benchmarks (compute plane: kernels vs scalar A/B)",
+        section,
+        payload,
     )
 
 

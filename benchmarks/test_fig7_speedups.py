@@ -174,6 +174,18 @@ def test_fig7_measured_mp_wallclock(benchmark):
                 curve[str(p)] = {
                     "measured_wall_s": outcome.max_rank_wall_s,
                     "predicted_loggp_s": outcome.predicted_time,
+                    # Per-rank RankTiming detail: total wall and the
+                    # share spent inside send/recv/collectives.
+                    "ranks": [
+                        {
+                            "rank": t.rank,
+                            "wall_s": t.wall_s,
+                            "comm_wall_s": t.comm_wall_s,
+                        }
+                        for t in sorted(
+                            outcome.timings, key=lambda t: t.rank
+                        )
+                    ],
                 }
             curves[name] = {"params": params, "curve": curve}
         return curves

@@ -7,7 +7,11 @@ directory and asserts, for each program:
 * the second compile is served from the persistent cache (``cache_hit``);
 * cold and warm artifacts emit **byte-identical** node programs;
 * the ``caching="off"`` A/B path emits that same byte-identical program;
-* the warm compile is faster than the cold one.
+* the warm compile is faster than the cold one;
+* kernel-qualified statements survive the round-trip: the warm
+  artifact's ``kernel_report`` matches the cold one's (with at least
+  one vectorized statement), and the two compute planes
+  (``compute="kernels"`` / ``"scalar"``) key distinct cache entries.
 
 Exits non-zero (with a diagnostic) on any violation.
 
@@ -81,15 +85,47 @@ def check(name: str, source: str, cache_dir: str) -> None:
             f"({warm_s:.3f}s vs {cold_s:.3f}s cold)"
         )
 
+    # The compute plane's qualification log is part of the artifact:
+    # a warm hit must replay the same kernel_report the cold compile
+    # produced, including its vectorized statements.
+    cold_report = list(cold.module.kernel_report)
+    warm_report = list(warm.module.kernel_report)
+    if warm_report != cold_report:
+        raise AssertionError(
+            f"{name}: kernel_report changed across the cache round-trip"
+        )
+    vectorized = sum(
+        1 for _, _, status, _ in warm_report if status == "vectorized"
+    )
+    if not vectorized:
+        raise AssertionError(
+            f"{name}: no kernel-qualified statement survived the warm hit"
+        )
+
     uncached = compile_program(source, CompilerOptions(caching="off"))
     if uncached.source != cold.source:
         raise AssertionError(
             f"{name}: caching=off emitted a different program"
         )
 
+    # The scalar plane keys its own cache entry: same source, other
+    # compute option must not be served the kernels artifact.
+    scalar = compile_program(
+        source, CompilerOptions(cache_dir=cache_dir, compute="scalar")
+    )
+    if scalar.source == cold.source:
+        raise AssertionError(
+            f"{name}: scalar plane returned the kernels artifact"
+        )
+    if any(s == "vectorized" for _, _, s, _ in scalar.module.kernel_report):
+        raise AssertionError(
+            f"{name}: scalar plane artifact reports vectorized statements"
+        )
+
     print(
         f"ok {name}: cold {cold_s:.2f}s, warm {warm_s * 1e3:.1f}ms "
-        f"({cold_s / max(warm_s, 1e-9):.0f}x), caching=off identical"
+        f"({cold_s / max(warm_s, 1e-9):.0f}x), {vectorized} kernel "
+        f"stmt(s) replayed, caching=off identical, scalar plane keyed apart"
     )
 
 

@@ -52,6 +52,7 @@ def _options_from(args) -> "CompilerOptions":
         loop_split=args.loop_split,
         active_vp=not args.no_active_vp,
         buffer_mode=args.buffer_mode,
+        compute=args.compute,
         caching=args.caching,
         cache_dir=args.cache_dir,
     )
@@ -68,6 +69,12 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable active-VP restriction (§4.1)")
     parser.add_argument("--buffer-mode", choices=("overlap", "direct"),
                         default="overlap")
+    parser.add_argument("--compute", choices=("kernels", "scalar"),
+                        default="kernels",
+                        help="compute plane: 'kernels' lowers qualifying "
+                             "affine loop pieces to numpy strided-slice "
+                             "kernels, 'scalar' interprets every statement "
+                             "point-by-point (A/B oracle)")
     parser.add_argument("--caching", choices=("on", "off"), default="on",
                         help="'off' bypasses set-operation memoization and "
                              "the persistent compile cache (A/B path)")

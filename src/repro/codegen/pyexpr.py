@@ -151,6 +151,42 @@ def emit_set_guard(
     return " or ".join(clauses)
 
 
+def emit_affine_offset(
+    expr: LinExpr, rename: Optional[Mapping[str, str]] = None
+) -> str:
+    """A loop-var-free affine offset as source text (slice arithmetic)."""
+    return emit_linexpr(expr, rename)
+
+
+def emit_slice(
+    lower_name: str, upper_name: str, offset: str, stride: int
+) -> str:
+    """One slice-index text for an array dim swept by the kernel loop.
+
+    ``lower_name``/``upper_name`` are the (inclusive) loop-bound variables
+    of the kernel launch; ``offset`` is the var-free part of the subscript
+    minus the array's allocation lower bound.  The emitted slice
+    ``lo+off : hi+off+1 : stride`` visits exactly the elements the scalar
+    per-point loop would have touched, in the same order.
+    """
+    start = f"{lower_name} + {offset}"
+    stop = f"{upper_name} + {offset} + 1"
+    if stride > 1:
+        return f"{start}:{stop}:{stride}"
+    return f"{start}:{stop}"
+
+
+def emit_arange(
+    lower_name: str, upper_name: str, stride: int
+) -> str:
+    """The loop variable itself as a float64 vector (exact below 2**53)."""
+    step = f", {stride}" if stride > 1 else ""
+    return (
+        f"np.arange({lower_name}, {upper_name} + 1{step}, "
+        f"dtype=np.float64)"
+    )
+
+
 class SourceWriter:
     """Indented Python source accumulator."""
 

@@ -59,6 +59,7 @@ from .pyexpr import (
     emit_set_guard,
     emit_upper,
 )
+from .kernels import try_emit_kernel_piece
 from ..core.commsets import CommSets
 from ..core.cp import CPInfo
 from ..core.events import PlacedEvent
@@ -95,10 +96,23 @@ class CompiledModule:
     source: str
     fallback_sets: List[IntegerSet]
     runtime_inplace: List[Tuple[str, object]]  # (flag name, InPlaceResult)
+    #: per-(statement, loop-piece) kernel-qualification outcomes:
+    #: ``(stmt_id, loop_var, status, reason)`` with status one of
+    #: 'vectorized' | 'scalar' | 'empty' | 'piece-scalar'.  Travels with
+    #: the persistent compile cache so warm compiles keep the report.
+    kernel_report: List[Tuple[int, str, str, str]] = field(
+        default_factory=list
+    )
 
 
 def _weight(expr: L.Expr) -> int:
-    """Abstract per-execution cost of an expression (operation count)."""
+    """Abstract per-execution cost of an expression (operation count).
+
+    The scalar plane charges this per executed point
+    (``_w0[0] += weight``); the kernel plane charges it once per kernel
+    launch as ``_w0[2] += weight * trip_count``, so accounting is O(1)
+    per launch while the compute-unit totals (and the LogGP phase
+    tables that replay them) are identical under both planes."""
     if isinstance(expr, L.BinOp):
         return 1 + _weight(expr.left) + _weight(expr.right)
     if isinstance(expr, L.UnOp):
@@ -127,6 +141,8 @@ class SpmdEmitter:
         self.fallback_sets: List[IntegerSet] = []
         self.runtime_inplace: List[Tuple[str, object]] = []
         self._work_counter = itertools.count()
+        self._kernel_counter = itertools.count()
+        self.kernel_report: List[Tuple[int, str, str, str]] = []
         self._listing: List[str] = []
 
     # ------------------------------------------------------------------ module
@@ -147,7 +163,8 @@ class SpmdEmitter:
         writer.line(f"proc_{self.program.main.name}(rt)")
         writer.pop()
         return CompiledModule(
-            writer.text(), self.fallback_sets, self.runtime_inplace
+            writer.text(), self.fallback_sets, self.runtime_inplace,
+            self.kernel_report,
         )
 
     # --------------------------------------------------------------- procedures
@@ -411,7 +428,9 @@ class _BodyEmitter:
         depth = len(loop_path)
         outermost = depth == 0
         if outermost:
-            self.w.line(f"{self._work_var} = [0, 0]")
+            # Slot 0: scalar-plane work; slot 1: buffer checks; slot 2:
+            # kernel-plane work (charged once per launch).
+            self.w.line(f"{self._work_var} = [0, 0, 0]")
             self._emit_reduction_bases(cps)
         if not cps:
             # No assignments below (empty loop): emit the original bounds.
@@ -622,6 +641,10 @@ class _BodyEmitter:
         prefix_vars: List[str],
         loop_path: List[L.Do],
     ):
+        if self.options.compute == "kernels" and try_emit_kernel_piece(
+            self, do, conjunct, prefix_vars, loop_path
+        ):
+            return
         var = do.var
         lowers, uppers, stride, base, mods = _var_bounds(
             conjunct, var, prefix_vars
@@ -737,6 +760,7 @@ class _BodyEmitter:
 
     def _flush_work(self):
         self.w.line(f"rt.work({self._work_var}[0])")
+        self.w.line(f"rt.work({self._work_var}[2], vectorized=True)")
         self.w.line(f"rt.check({self._work_var}[1])")
 
     # -------------------------------------------------------------- reductions

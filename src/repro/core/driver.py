@@ -143,6 +143,11 @@ def compile_program(
             f"CompilerOptions.caching must be 'on' or 'off', "
             f"got {options.caching!r}"
         )
+    if options.compute not in ("kernels", "scalar"):
+        raise ValueError(
+            f"CompilerOptions.compute must be 'kernels' or 'scalar', "
+            f"got {options.compute!r}"
+        )
     if options.caching == "off":
         with caches.disabled():
             return _compile_program_impl(source, options)

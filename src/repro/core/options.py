@@ -34,6 +34,13 @@ class CompilerOptions:
     #: 'elements' is the legacy per-element index/value-list plane, kept
     #: for A/B benchmarking.
     dataplane: str = "sections"
+    #: compute plane: 'kernels' lowers qualifying innermost affine loop
+    #: pieces to numpy strided-slice statements (recognized reductions
+    #: become ``np.max``/``np.min``/``np.sum`` partials feeding the
+    #: existing allreduce); statements that fail qualification fall back
+    #: per-statement to the interpreted scalar loop.  'scalar' keeps every
+    #: statement in the per-point loop (A/B oracle).
+    compute: str = "kernels"
     #: 'on' memoizes the pure set operations and enables the persistent
     #: compile cache; 'off' bypasses every cache layer (uncached A/B path,
     #: required to emit byte-identical programs).

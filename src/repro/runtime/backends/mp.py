@@ -369,12 +369,13 @@ class MPNodeRuntime(NodeRuntimeBase):
                     f"rank {self.rank}: expected {tag!r} from {src}, "
                     f"got {got_tag!r}"
                 )
-            # Legacy contract: values come back as a plain list, copied
-            # out of the ring (the caller may hold them indefinitely).
-            data = np.asarray(values, dtype=np.float64).tolist()
+            # Forced copy: ``values`` may be a view into the shared ring
+            # that dies at release(), and the caller may hold the result
+            # indefinitely.  One vectorized copy, no per-element list.
+            data = np.array(values, dtype=np.float64)
         finally:
             release()
-        nbytes = 8 * len(data)
+        nbytes = data.nbytes
         self.trace.recv(src, tag, nbytes, 0 if inplace else nbytes)
         self.trace.data_copied(nbytes)
         self._clocked(start)

@@ -126,8 +126,9 @@ class NodeRuntime(NodeRuntimeBase):
         data = np.asarray(data, dtype=np.float64)
         nbytes = data.nbytes
         self.trace.recv(src, tag, nbytes, 0 if inplace else nbytes)
-        # Legacy contract: values come back as a plain list.
-        return indices, data.tolist()
+        # Values are a float64 ndarray (sequence-compatible with the old
+        # per-element list contract, without materializing one).
+        return indices, data
 
     def send_section(
         self, dest: int, tag, name: str, sections, inplace: bool = False

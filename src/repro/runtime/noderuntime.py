@@ -133,8 +133,8 @@ class NodeRuntimeBase(abc.ABC):
 
     # -- accounting (shared) ----------------------------------------------------
 
-    def work(self, amount: float) -> None:
-        self.trace.compute(amount)
+    def work(self, amount: float, vectorized: bool = False) -> None:
+        self.trace.compute(amount, vectorized=vectorized)
 
     def check(self, count: int = 1) -> None:
         self.trace.check(count)

@@ -67,8 +67,16 @@ class Trace:
     # transport via numpy views (zero staging copies).
     bytes_copied: int = 0
     bytes_viewed: int = 0
+    # Compute-plane accounting: how the abstract work units were actually
+    # executed.  ``flops_vectorized`` were performed by numpy strided-slice
+    # kernels (one launch per loop piece), ``flops_scalar`` by the
+    # interpreted per-point loop.  The LogGP ``compute_units`` charge is
+    # the sum of both — the cost model is deliberately unaware of the
+    # execution tier so Figure 7 shapes do not depend on it.
+    flops_vectorized: float = 0.0
+    flops_scalar: float = 0.0
 
-    def compute(self, amount: float) -> None:
+    def compute(self, amount: float, vectorized: bool = False) -> None:
         if amount <= 0:
             return
         events = self.events
@@ -77,6 +85,10 @@ class Trace:
         else:
             events.append(ComputeEvent(amount))
         self.compute_units += amount
+        if vectorized:
+            self.flops_vectorized += amount
+        else:
+            self.flops_scalar += amount
 
     def send(self, dest: int, tag, nbytes: int, copied: int) -> None:
         self.events.append(SendEvent(dest, tag, nbytes, copied))
@@ -116,6 +128,9 @@ class RunStatistics:
     #: actual staging copies vs zero-copy view traffic (see Trace).
     total_bytes_copied: int = 0
     total_bytes_viewed: int = 0
+    #: compute-plane split of ``total_compute`` (see Trace).
+    total_flops_vectorized: float = 0.0
+    total_flops_scalar: float = 0.0
 
     @staticmethod
     def from_traces(traces: List[Trace]) -> "RunStatistics":
@@ -129,6 +144,8 @@ class RunStatistics:
             total_compute=sum(t.compute_units for t in traces),
             total_bytes_copied=sum(t.bytes_copied for t in traces),
             total_bytes_viewed=sum(t.bytes_viewed for t in traces),
+            total_flops_vectorized=sum(t.flops_vectorized for t in traces),
+            total_flops_scalar=sum(t.flops_scalar for t in traces),
         )
 
     def merge(self, other: "RunStatistics") -> "RunStatistics":
@@ -151,5 +168,11 @@ class RunStatistics:
             ),
             total_bytes_viewed=(
                 self.total_bytes_viewed + other.total_bytes_viewed
+            ),
+            total_flops_vectorized=(
+                self.total_flops_vectorized + other.total_flops_vectorized
+            ),
+            total_flops_scalar=(
+                self.total_flops_scalar + other.total_flops_scalar
             ),
         )

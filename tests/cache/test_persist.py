@@ -57,6 +57,7 @@ def test_fingerprint_changes_on_every_semantic_option_field():
         "lift_guards": 0,
         "buffer_mode": "direct",
         "dataplane": "elements",
+        "compute": "scalar",
     }
     semantic = set(options_fingerprint_fields(base_options))
     assert semantic == set(flipped), (

@@ -1,0 +1,373 @@
+"""Kernel vectorization: qualification, per-statement fallback, and
+kernels-vs-scalar A/B identity on every execution backend.
+
+The compute plane must never change results: for each program below the
+``compute="kernels"`` and ``compute="scalar"`` compilations are run with
+full harness validation (element-by-element against the serial
+interpreter) *and* compared to each other bitwise, per rank.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, compile_program, run_compiled
+from repro.codegen.kernels import _pair_safe, _Ref
+from repro.isets import LinExpr
+from repro.runtime.faults import FaultPlan
+from repro.runtime.options import RuntimeOptions
+
+BACKENDS = ("threads", "mp", "inproc-seq")
+
+STENCIL = """
+program s
+  parameter n
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 2, n - 1
+    a(i) = 0.5 * (b(i-1) + b(i+1))
+  end do
+end
+"""
+
+# ``a`` is unaligned, hence fully replicated: loop-carried reads of it
+# need no communication, so the nests below are decided purely by the
+# dependence rules (a distributed ``a`` would anchor pipeline
+# communication inside the nest and bail the whole piece).
+REPL = """
+program r
+  parameter n
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 2, n - 1
+    a(i) = 0.5 * (b(i-1) + b(i+1))
+  end do
+end
+"""
+
+
+def _compile(source, **overrides):
+    return compile_program(source, CompilerOptions(**overrides))
+
+
+def _statuses(compiled):
+    """Statuses of per-statement kernel_report entries, by stmt_id."""
+    out = {}
+    for stmt_id, _var, status, _reason in compiled.module.kernel_report:
+        if status in ("vectorized", "scalar", "empty"):
+            out.setdefault(stmt_id, status)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Qualification rules
+# ---------------------------------------------------------------------------
+
+
+class TestQualification:
+    def test_stencil_vectorizes(self):
+        compiled = _compile(STENCIL)
+        assert "# kernel piece over i" in compiled.source
+        assert "vectorized=True" in compiled.source
+        assert "vectorized" in _statuses(compiled).values()
+
+    def test_scalar_plane_emits_no_kernels(self):
+        compiled = _compile(STENCIL, compute="scalar")
+        assert "# kernel piece" not in compiled.source
+        assert "np.arange" not in compiled.source
+        assert compiled.module.kernel_report == []
+
+    def test_backward_dependence_falls_back(self):
+        # a(i) reads a(i-1): iteration i must see iteration i-1's write,
+        # which a full-RHS-first numpy statement would miss.
+        src = REPL.replace(
+            "a(i) = 0.5 * (b(i-1) + b(i+1))",
+            "a(i) = 0.5 * a(i-1) + b(i)",
+        )
+        compiled = _compile(src)
+        assert set(_statuses(compiled).values()) == {"scalar"}
+
+    def test_forward_dependence_vectorizes(self):
+        # a(i) reads a(i+1): numpy's read-all-then-write order matches
+        # the scalar loop exactly (each read sees the original value).
+        src = REPL.replace(
+            "a(i) = 0.5 * (b(i-1) + b(i+1))",
+            "a(i) = 0.5 * a(i+1) + b(i)",
+        )
+        compiled = _compile(src)
+        assert "vectorized" in _statuses(compiled).values()
+
+    def test_redblack_parity_vectorizes(self):
+        # Distance-1 dependence off a stride-2 lattice never conflicts.
+        src = REPL.replace(
+            "do i = 2, n - 1",
+            "do i = 2, n - 1, 2",
+        ).replace(
+            "a(i) = 0.5 * (b(i-1) + b(i+1))",
+            "a(i) = 0.5 * (a(i-1) + a(i+1))",
+        )
+        compiled = _compile(src)
+        assert "vectorized" in _statuses(compiled).values()
+
+    def test_nonunit_subscript_coefficient_falls_back(self):
+        src = """
+program nu
+  real a(40), b(40)
+  processors p(nprocs)
+  template t(40)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, 20
+    a(i) = b(i+i)
+  end do
+end
+"""
+        compiled = _compile(src)
+        assert "scalar" in _statuses(compiled).values()
+
+    def test_sum_reduction_lowers_to_np_sum(self):
+        src = STENCIL.replace(
+            "  do i = 2, n - 1",
+            "  scalar s\n  do i = 2, n - 1",
+        ).replace(
+            "a(i) = 0.5 * (b(i-1) + b(i+1))",
+            "s = s + b(i)",
+        )
+        compiled = _compile(src)
+        assert "np.sum(" in compiled.source
+        assert "rt.allreduce('+'" in compiled.source
+
+    def test_max_reduction_lowers_to_np_max(self):
+        src = STENCIL.replace(
+            "  do i = 2, n - 1",
+            "  scalar s\n  do i = 2, n - 1",
+        ).replace(
+            "a(i) = 0.5 * (b(i-1) + b(i+1))",
+            "s = max(s, b(i))",
+        )
+        compiled = _compile(src)
+        assert "np.max(" in compiled.source
+        assert "rt.allreduce('max'" in compiled.source
+
+    def test_mixed_body_distributes_per_statement(self):
+        """One nest, one vectorizable + one dependence-bound statement:
+        loop distribution applies, each statement keeps its own loop."""
+        src = REPL.replace(
+            "a(i) = 0.5 * (b(i-1) + b(i+1))",
+            "a(i) = 0.5 * a(i-1) + b(i)\n    b(i) = b(i) * 2.0",
+        )
+        compiled = _compile(src)
+        statuses = set(_statuses(compiled).values())
+        assert statuses == {"scalar", "vectorized"}
+
+
+# ---------------------------------------------------------------------------
+# Dependence-distance unit tests
+# ---------------------------------------------------------------------------
+
+
+def _ref(array, *subs, write=False):
+    return _Ref(array, tuple(subs), write)
+
+
+def _sub(coeff_i=0, const=0):
+    return LinExpr({"i": coeff_i} if coeff_i else {}, const)
+
+
+class TestPairSafe:
+    def test_same_stmt_backward_read_unsafe(self):
+        write = _ref("a", _sub(1, 0), write=True)
+        read = _ref("a", _sub(1, -1))
+        ok, why = _pair_safe(write, read, "i", 1, same_stmt=True)
+        assert not ok and "distance" in why
+
+    def test_same_stmt_forward_read_safe(self):
+        write = _ref("a", _sub(1, 0), write=True)
+        read = _ref("a", _sub(1, 1))
+        ok, _ = _pair_safe(write, read, "i", 1, same_stmt=True)
+        assert ok
+
+    def test_cross_stmt_sign_flips(self):
+        # Later statement reading the earlier statement's future write
+        # is unsafe; reading its past write is the normal pipeline.
+        earlier = _ref("a", _sub(1, 0), write=True)
+        later_past = _ref("a", _sub(1, -1))
+        later_future = _ref("a", _sub(1, 1))
+        ok, _ = _pair_safe(earlier, later_past, "i", 1, same_stmt=False)
+        assert ok
+        ok, _ = _pair_safe(earlier, later_future, "i", 1, same_stmt=False)
+        assert not ok
+
+    def test_off_lattice_distance_safe(self):
+        write = _ref("a", _sub(1, 0), write=True)
+        read = _ref("a", _sub(1, -1))
+        ok, _ = _pair_safe(write, read, "i", 2, same_stmt=True)
+        assert ok  # red-black: odd distance on an even lattice
+
+    def test_var_free_disjoint_dim_safe(self):
+        write = _ref("a", _sub(0, 3), _sub(1, 0), write=True)
+        read = _ref("a", _sub(0, 4), _sub(1, -5))
+        ok, _ = _pair_safe(write, read, "i", 1, same_stmt=True)
+        assert ok  # rows 3 and 4 never overlap
+
+    def test_non_affine_unsafe(self):
+        write = _ref("a", _sub(1, 0), write=True)
+        read = _Ref("a", None, False)
+        ok, why = _pair_safe(write, read, "i", 1, same_stmt=True)
+        assert not ok and "non-affine" in why
+
+
+# ---------------------------------------------------------------------------
+# A/B identity: kernels vs scalar, every backend, bitwise
+# ---------------------------------------------------------------------------
+
+# Guard-heavy: a replicated recurrence (``c``) shares a nest with a
+# distributed stencil statement — the backward dependence forces the
+# recurrence onto the scalar fallback path while its neighbour
+# vectorizes, and the distributed statement keeps its ownership guard.
+GUARD_HEAVY = """
+program gh
+  parameter n
+  real a(n), b(n), c(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, n
+    a(i) = i * 0.25
+    b(i) = i * 0.5
+    c(i) = 0.0
+  end do
+  do i = 3, n - 2
+    c(i) = 0.5 * c(i-1) + a(i)
+    b(i) = a(i-2) + a(i+2)
+  end do
+end
+"""
+
+# cyclic(k): VP loops with stride wildcards in the membership sets.
+CYCLIC_K = """
+program ck
+  parameter n
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(cyclic(3)) onto p
+  do i = 1, n
+    b(i) = i * 0.5
+    a(i) = 0.0
+  end do
+  do i = 2, n - 1
+    a(i) = 0.5 * (b(i-1) + b(i+1))
+  end do
+end
+"""
+
+# Strided loop over an offset alignment: slice steps + nonzero bases.
+STRIDED = """
+program st
+  parameter n
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i+1)
+  distribute t(block) onto p
+  do i = 1, n - 1
+    b(i) = i * 0.5
+    a(i) = 1.0
+  end do
+  do i = 2, n - 4, 3
+    a(i) = b(i+1) * 2.0
+  end do
+end
+"""
+
+AB_PROGRAMS = {
+    "guard_heavy": (GUARD_HEAVY, {"n": 33}),
+    "cyclic_k": (CYCLIC_K, {"n": 31}),
+    "strided": (STRIDED, {"n": 32}),
+}
+
+
+def _run_ab(name, backend, nprocs=4, runtime_options=None):
+    source, params = AB_PROGRAMS[name]
+    outcomes = {}
+    for mode in ("kernels", "scalar"):
+        compiled = _compile(source, compute=mode)
+        # validate=True: element-by-element against the serial
+        # interpreter (plane-independent ground truth).
+        outcomes[mode] = run_compiled(
+            compiled, params=params, nprocs=nprocs, backend=backend,
+            validate=True, runtime_options=runtime_options,
+        )
+    for kr, sr in zip(
+        outcomes["kernels"].results, outcomes["scalar"].results
+    ):
+        for array_name, data in kr.arrays.items():
+            np.testing.assert_array_equal(
+                data, sr.arrays[array_name],
+                err_msg=f"{name}: array {array_name} differs bitwise",
+            )
+        assert kr.scalars == pytest.approx(sr.scalars, rel=1e-9)
+    return outcomes
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(AB_PROGRAMS))
+def test_kernels_match_scalar_bitwise(name, backend):
+    outcomes = _run_ab(name, backend)
+    stats = outcomes["kernels"].stats
+    assert stats.total_flops_vectorized > 0, (
+        f"{name}: nothing vectorized — the A/B compares nothing"
+    )
+    # Both planes charge identical abstract work.
+    assert stats.total_compute == outcomes["scalar"].stats.total_compute
+
+
+def test_kernels_match_scalar_under_jitter():
+    """Timing perturbation must not change kernel-plane results."""
+    plan = FaultPlan.parse("jitter:ms=2", seed=13)
+    _run_ab(
+        "guard_heavy", "threads",
+        runtime_options=RuntimeOptions(fault_plan=plan),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compile-cache flow
+# ---------------------------------------------------------------------------
+
+
+class TestCacheFlow:
+    def test_kernel_report_flows_through_persistent_cache(self, tmp_path):
+        opts = CompilerOptions(cache_dir=str(tmp_path))
+        cold = compile_program(STENCIL, opts)
+        assert not cold.cache_hit
+        assert cold.module.kernel_report
+        warm = compile_program(STENCIL, opts)
+        assert warm.cache_hit
+        assert warm.module.kernel_report == cold.module.kernel_report
+        assert warm.source == cold.source
+
+    def test_compute_plane_keys_the_artifact(self, tmp_path):
+        compile_program(
+            STENCIL, CompilerOptions(cache_dir=str(tmp_path))
+        )
+        other = compile_program(
+            STENCIL,
+            CompilerOptions(cache_dir=str(tmp_path), compute="scalar"),
+        )
+        # Different compute plane -> different fingerprint -> cold.
+        assert not other.cache_hit
+        assert "# kernel piece" not in other.source

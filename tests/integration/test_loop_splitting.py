@@ -80,9 +80,19 @@ def test_split_emits_local_then_recv_then_nonlocal():
     send_at = source.index("rt.send", split_at)
     recv_at = source.index("rt.recv", split_at)
     assert send_at < recv_at
-    # a compute loop sits between the send and the receive (the local
-    # section overlapping the message latency)
+    # the local compute section sits between the send and the receive
+    # (overlapping the message latency) — a vectorized kernel launch
+    # under the default compute plane, a scalar loop otherwise
     between = source[send_at:recv_at]
+    assert "# kernel piece over i" in between or "for i in range" in between
+
+    scalar = compile_program(
+        STENCIL_1D, CompilerOptions(loop_split=True, compute="scalar")
+    ).source
+    split_at = scalar.index("# --- loop splitting")
+    between = scalar[
+        scalar.index("rt.send", split_at):scalar.index("rt.recv", split_at)
+    ]
     assert "for i in range" in between
 
 

@@ -25,7 +25,7 @@ def test_point_to_point_roundtrip():
         else:
             idx, vals = rt.recv(0, "t")
             assert idx == [(1,), (2,)]
-            assert vals == [1.0, 2.0]
+            assert list(vals) == [1.0, 2.0]
 
     Machine(2).run(node, _make_runtime_factory())
 
@@ -47,7 +47,7 @@ def test_exchange_does_not_deadlock():
         other = 1 - rt.rank
         rt.send(other, "x", [float(rt.rank)])
         _, vals = rt.recv(other, "x")
-        assert vals == [float(other)]
+        assert list(vals) == [float(other)]
 
     Machine(2).run(node, _make_runtime_factory())
 
