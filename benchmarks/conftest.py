@@ -22,6 +22,9 @@ BENCH_DATAPLANE_PATH = (
 BENCH_KERNELS_PATH = (
     Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
 )
+BENCH_SERVICE_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_service.json"
+)
 
 
 def emit(line: str = "") -> None:
@@ -64,6 +67,16 @@ def record_kernels(section: str, payload) -> None:
     _record_json(
         BENCH_KERNELS_PATH,
         "benchmarks (compute plane: kernels vs scalar A/B)",
+        section,
+        payload,
+    )
+
+
+def record_service(section: str, payload) -> None:
+    """Read-modify-write one section of ``BENCH_service.json``."""
+    _record_json(
+        BENCH_SERVICE_PATH,
+        "benchmarks (compile service load harness)",
         section,
         payload,
     )

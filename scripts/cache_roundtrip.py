@@ -13,6 +13,12 @@ directory and asserts, for each program:
   one vectorized statement), and the two compute planes
   (``compute="kernels"`` / ``"scalar"``) key distinct cache entries.
 
+It then boots the compile service in-process and gates the service
+path: a submitted compile must produce an artifact byte-identical to
+the local one, a resubmit must be a hot hit, and one run per backend
+(threads / mp / inproc-seq) through the service must agree on traffic
+and results.
+
 Exits non-zero (with a diagnostic) on any violation.
 
 Usage::
@@ -129,6 +135,80 @@ def check(name: str, source: str, cache_dir: str) -> None:
     )
 
 
+def check_service(cache_dir: str) -> None:
+    """The same byte-identity guarantee, taken through the service."""
+    import threading
+
+    from repro.service import ServiceClient, create_server
+    from repro.service.protocol import sha256_text
+
+    reset_caches()
+    local_sha = sha256_text(
+        compile_program(JACOBI_1D, CompilerOptions(caching="off")).source
+    )
+
+    server = create_server(port=0, cache_dir=cache_dir, nshards=4,
+                           shard_capacity=32)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address
+        with ServiceClient(host=host, port=port) as client:
+            cold = client.compile(JACOBI_1D)
+            if not cold.get("ok"):
+                raise AssertionError(f"service: compile failed: {cold}")
+            if cold["artifact_sha256"] != local_sha:
+                raise AssertionError(
+                    "service: submitted artifact differs from the "
+                    "single-client compile"
+                )
+            warm = client.compile(JACOBI_1D)
+            if warm["cache"] != "hot":
+                raise AssertionError(
+                    f"service: resubmit not served hot ({warm['cache']})"
+                )
+            if warm["artifact_sha256"] != local_sha:
+                raise AssertionError(
+                    "service: hot artifact differs from the cold one"
+                )
+
+            # One artifact, every backend: the served program must run
+            # identically on each execution substrate.
+            signatures = {}
+            for backend in ("threads", "mp", "inproc-seq"):
+                response = client.run(
+                    JACOBI_1D, params={"n": 16}, nprocs=2,
+                    backend=backend,
+                )
+                if not response.get("ok"):
+                    raise AssertionError(
+                        f"service: {backend} run failed: "
+                        f"{response.get('error')}"
+                    )
+                if response["artifact_sha256"] != local_sha:
+                    raise AssertionError(
+                        f"service: {backend} ran a different artifact"
+                    )
+                outcome = response["outcome"]
+                signatures[backend] = (
+                    outcome["messages"],
+                    outcome["payload_bytes"],
+                    tuple(sorted(outcome["scalars"].items())),
+                )
+            if len(set(signatures.values())) != 1:
+                raise AssertionError(
+                    f"service: backends disagree: {signatures}"
+                )
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    print(
+        "ok service: submit byte-identical to local compile, resubmit "
+        "hot, threads/mp/inproc-seq runs agree"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cache-dir", default=None,
@@ -143,6 +223,11 @@ def main(argv=None) -> int:
         except AssertionError as exc:
             print(f"FAIL {exc}", file=sys.stderr)
             failures += 1
+    try:
+        check_service(tempfile.mkdtemp(prefix="repro-svc-"))
+    except AssertionError as exc:
+        print(f"FAIL {exc}", file=sys.stderr)
+        failures += 1
     return 1 if failures else 0
 
 

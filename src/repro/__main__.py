@@ -6,6 +6,8 @@ Usage::
     python -m repro run prog.hpf --nprocs 4 --param n=64 --param niter=3
     python -m repro sets '{[i] : 1 <= i <= 20 and exists(a : i = 3a)}'
     python -m repro cache stats|clear [--cache-dir DIR]
+    python -m repro serve [--port 8737] [--shards 8] [--cache-dir DIR]
+    python -m repro submit prog.hpf [--url http://host:port] [--json]
 
 ``compile`` prints the compilation listing (default), the generated SPMD
 node program, or the phase-time breakdown.  ``run`` executes on the
@@ -15,7 +17,9 @@ expression and enumerates it (small sets; parameters via --param).
 ``cache`` inspects or clears the persistent compile cache; ``compile``
 and ``run`` consult that cache when ``--cache-dir`` is given (default:
 ``$REPRO_CACHE_DIR`` when set), making recompiles of unchanged programs
-near-free.
+near-free.  ``serve`` starts the long-lived compile server (DESIGN §10)
+and ``submit`` sends a compile+run request to one; ``submit --json``
+emits the machine-readable response for scripts and CI.
 """
 
 from __future__ import annotations
@@ -262,6 +266,122 @@ def cmd_cache_clear(args) -> int:
     return 0
 
 
+def _wire_options_from(args) -> dict:
+    """Compile options as the service wire dict (``cache_dir`` stays
+    server-side and is deliberately not sent)."""
+    return {
+        "coalesce": not args.no_coalesce,
+        "inplace": not args.no_inplace,
+        "loop_split": args.loop_split,
+        "active_vp": not args.no_active_vp,
+        "buffer_mode": args.buffer_mode,
+        "compute": args.compute,
+        "caching": args.caching,
+    }
+
+
+def cmd_serve(args) -> int:
+    from .service.server import create_server
+
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        cache_dir=_resolve_cache_dir(args),
+        nshards=args.shards,
+        shard_capacity=args.shard_capacity,
+        quiet=not args.verbose,
+    )
+    host, port = server.server_address[:2]
+    store = server.service.store
+    print(f"compile service listening on http://{host}:{port}")
+    print(f"artifact store: {store.root} "
+          f"({len(store.shards)} shards x {store.shards[0].capacity} "
+          f"artifacts)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from .service.client import ServiceClient, ServiceError
+
+    with open(args.program) as handle:
+        source = handle.read()
+    client = ServiceClient(url=args.url, host=args.host, port=args.port)
+    fallback = tuple(
+        name.strip()
+        for name in (args.fallback_backends or "").split(",")
+        if name.strip()
+    )
+    try:
+        if args.compile_only:
+            response = client.compile(
+                source, options=_wire_options_from(args)
+            )
+        else:
+            response = client.run(
+                source,
+                params=_parse_params(args.param),
+                nprocs=args.nprocs,
+                backend=args.backend,
+                validate=not args.no_validate,
+                options=_wire_options_from(args),
+                retries=args.retries,
+                fallback_backends=fallback,
+                fault_spec=args.fault_spec,
+                fault_seed=args.fault_seed,
+                recv_timeout_s=args.recv_timeout,
+                run_timeout_s=args.run_timeout,
+            )
+    except ServiceError as exc:
+        if args.json and exc.payload:
+            print(_json.dumps(exc.payload, indent=2, sort_keys=True))
+        else:
+            print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+    if args.json:
+        print(_json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 1
+
+    if not response.get("ok"):
+        error = response.get("error", {})
+        print(f"submit failed: {error.get('type', 'Error')}",
+              file=sys.stderr)
+        print(error.get("message", ""), file=sys.stderr)
+        for record in error.get("attempts", []):
+            print(
+                f"  attempt {record['attempt']} [{record['backend']}]: "
+                f"{record['outcome']}",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"fingerprint: {response['fingerprint']}")
+    print(f"cache:       {response['cache']} "
+          f"({response['compile_ms']:.1f} ms)")
+    outcome = response.get("outcome")
+    if outcome:
+        print(f"backend:     {outcome['backend']}")
+        print(f"processors:  {outcome['nprocs']}")
+        print(f"validation:  "
+              f"{'OK' if response.get('validated') else 'skipped'}")
+        print(f"messages:    {outcome['messages']} "
+              f"({outcome['payload_bytes']} payload bytes)")
+        print(f"predicted time: {outcome['predicted_ms']:.3f} ms "
+              f"(speedup {outcome['speedup']:.2f}x)")
+        for name, value in outcome.get("scalars", {}).items():
+            print(f"scalar {name} = {value}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -336,6 +456,53 @@ def main(argv=None) -> int:
                           help="cache directory (default: $REPRO_CACHE_DIR "
                                "or ~/.cache/repro-dhpf)")
     p_cclear.set_defaults(func=cmd_cache_clear)
+
+    p_serve = sub.add_parser(
+        "serve", help="start the long-lived compile server"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8737)
+    p_serve.add_argument("--shards", type=int, default=8,
+                         help="artifact-store shard count (lock stripes)")
+    p_serve.add_argument("--shard-capacity", type=int, default=256,
+                         help="max artifacts per shard before LRU eviction")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="artifact-store root (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro-dhpf)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a compile+run request to a compile server"
+    )
+    p_submit.add_argument("program")
+    p_submit.add_argument("--url", default=None, metavar="URL",
+                          help="server base URL (overrides --host/--port)")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8737)
+    p_submit.add_argument("--nprocs", type=int, default=4)
+    p_submit.add_argument("--param", action="append", metavar="NAME=VALUE")
+    p_submit.add_argument("--no-validate", action="store_true")
+    p_submit.add_argument("--backend", default=None, metavar="NAME")
+    p_submit.add_argument("--compile-only", action="store_true",
+                          help="compile to an artifact without running")
+    p_submit.add_argument("--json", action="store_true",
+                          help="print the machine-readable JSON response")
+    p_submit.add_argument("--retries", type=int, default=0, metavar="N")
+    p_submit.add_argument("--fallback-backends", default=None,
+                          metavar="NAMES")
+    p_submit.add_argument("--fault-spec", default=None, metavar="SPEC")
+    p_submit.add_argument("--fault-seed", type=int, default=0,
+                          metavar="SEED")
+    p_submit.add_argument("--recv-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="blocking-receive timeout for the run")
+    p_submit.add_argument("--run-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="whole-launch timeout for the run")
+    _add_option_flags(p_submit)
+    p_submit.set_defaults(func=cmd_submit)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -79,7 +79,7 @@ def intern_linexpr(expr: LinExpr) -> LinExpr:
     cache = caches.register("intern.linexpr", maxsize=65536)
     if not caches.enabled:
         return expr
-    return cache.memoize(linexpr_key(expr), lambda: expr)
+    return cache.intern(linexpr_key(expr), expr)
 
 
 def intern_constraint(constraint: Constraint) -> Constraint:
@@ -87,13 +87,15 @@ def intern_constraint(constraint: Constraint) -> Constraint:
     cache = caches.register("intern.constraint", maxsize=65536)
     if not caches.enabled:
         return constraint
-    return cache.memoize(constraint_key(constraint), lambda: constraint)
+    return cache.intern(constraint_key(constraint), constraint)
 
 
 def intern_conjunct(conjunct: Conjunct) -> Conjunct:
     """Canonical instance for ``conjunct``; an intern hit returns the
     first-seen structurally identical instance (same names, same order, so
-    the swap is observationally invisible)."""
+    the swap is observationally invisible).  Uses the atomic
+    :meth:`~repro.cache.manager.LRUCache.intern` so threads racing on the
+    same key cannot mint two distinct "canonical" instances."""
     if not caches.enabled:
         return conjunct
-    return _INTERN.memoize(conjunct_key(conjunct), lambda: conjunct)
+    return _INTERN.intern(conjunct_key(conjunct), conjunct)

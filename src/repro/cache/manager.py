@@ -94,13 +94,40 @@ class LRUCache:
                 self.evictions += 1
 
     def memoize(self, key: Hashable, compute: Callable[[], object]) -> object:
-        """Return the cached value for ``key``, computing it on a miss."""
+        """Return the cached value for ``key``, computing it on a miss.
+
+        Two threads missing the same key concurrently both compute; the
+        results must therefore be interchangeable (pure functions of the
+        key).  For identity-canonicalization use :meth:`intern` instead.
+        """
         found, value = self.lookup(key)
         if found:
             return value
         value = compute()
         self.put(key, value)
         return value
+
+    def intern(self, key: Hashable, value: object) -> object:
+        """Atomic get-or-put: the *first* value stored under ``key`` wins.
+
+        Unlike :meth:`memoize`'s check-then-act, the lookup and insert
+        happen under one lock acquisition, so concurrent threads racing
+        to intern structurally equal objects all receive the same
+        canonical instance — required for hash-consing, where callers
+        rely on identity stability.
+        """
+        with self._lock:
+            existing = self._data.get(key, _MISSING)
+            if existing is not _MISSING:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return existing
+            self.misses += 1
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            return value
 
     def clear(self) -> None:
         with self._lock:
@@ -129,8 +156,19 @@ class CacheManager:
 
     def __init__(self):
         self._caches: Dict[str, LRUCache] = {}
-        self._disabled_depth = 0
+        # Per-thread disable depth: a compile server thread running the
+        # caching="off" A/B path must not turn memoization off for the
+        # caching="on" compiles running concurrently in sibling threads.
+        self._local = threading.local()
         self._lock = threading.Lock()
+
+    @property
+    def _disabled_depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @_disabled_depth.setter
+    def _disabled_depth(self, value: int) -> None:
+        self._local.depth = value
 
     # -- registration ------------------------------------------------------
 
@@ -162,7 +200,9 @@ class CacheManager:
     def disabled(self) -> Iterator[None]:
         """Bypass every cache inside the block (the ``caching="off"`` path).
 
-        Re-entrant; lookups neither read, write, nor count while disabled.
+        Re-entrant, and scoped to the *calling thread*: concurrent
+        compiles in other threads keep memoizing.  Lookups neither read,
+        write, nor count while disabled.
         """
         self._disabled_depth += 1
         try:

@@ -14,8 +14,16 @@ a **fingerprint** of everything that determines it:
 Artifacts are pickles written atomically (tmp file + ``os.replace``) so a
 concurrent reader never sees a half-written file; a corrupted, truncated,
 or version-skewed artifact is treated as a miss and recompiled, never an
-error.  Like any pickle store, the cache directory must be trusted — do
-not point ``--cache-dir`` at attacker-writable locations.
+error.  Reads therefore take no lock at all.  *Writers* (and ``clear``)
+additionally serialize on a per-directory advisory ``.lock``
+(:class:`~repro.cache.locks.FileLock` — ``flock``, auto-released on
+process death, stale holders broken after a grace period): after
+acquiring it they re-check for an artifact another process may have
+published in the meantime and skip the duplicate write, which keeps
+maintenance bookkeeping (entry counts, eviction decisions in the sharded
+service store built on top of this class) from racing between
+processes.  Like any pickle store, the cache directory must be trusted —
+do not point ``--cache-dir`` at attacker-writable locations.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from dataclasses import fields
 from pathlib import Path
 from typing import Dict, Optional
 
+from .locks import FileLock
 from .manager import caches
 
 #: Bump when the artifact layout changes incompatibly.
@@ -83,8 +92,27 @@ def compute_fingerprint(
 class CompileCache:
     """A directory of fingerprint-keyed compiled artifacts."""
 
-    def __init__(self, root: str):
+    #: Name of the per-directory advisory writer lock.
+    LOCK_NAME = ".lock"
+
+    def __init__(self, root: str, lock_timeout: float = 10.0,
+                 lock_stale_after: float = 30.0):
         self.root = Path(root)
+        self.lock_timeout = lock_timeout
+        self._lock = FileLock(
+            self.root / self.LOCK_NAME,
+            stale_after=lock_stale_after,
+            timeout=lock_timeout,
+        )
+
+    @property
+    def lock(self) -> FileLock:
+        """The directory's advisory writer lock.  Callers doing their own
+        maintenance on the directory (e.g. the service store's LRU
+        eviction sweep) serialize on this same lock; it is *not*
+        re-entrant, so never wrap a call to :meth:`store`/:meth:`clear`
+        in it."""
+        return self._lock
 
     # -- paths -------------------------------------------------------------
 
@@ -136,9 +164,47 @@ class CompileCache:
         return compiled
 
     def store(self, fingerprint: str, compiled) -> Path:
-        """Atomically write the artifact; returns its path."""
+        """Atomically write the artifact; returns its path.
+
+        Serializes with concurrent writing *processes* on the directory's
+        advisory lock and re-checks after acquiring it: if another writer
+        published a valid artifact for this fingerprint while we waited,
+        the duplicate write is skipped (the racing compiles are required
+        to be byte-equivalent, so either copy serves).  If the lock
+        cannot be obtained even after stale-holder recovery, the write
+        proceeds unlocked — the tmp+rename protocol keeps that safe, it
+        merely readmits the benign duplicate-write race.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(fingerprint)
+        try:
+            with self._lock:
+                if self._valid_artifact(fingerprint):
+                    return path
+                return self._write(fingerprint, compiled, path)
+        except TimeoutError:
+            return self._write(fingerprint, compiled, path)
+
+    def _valid_artifact(self, fingerprint: str) -> bool:
+        """Is a loadable artifact for ``fingerprint`` already on disk?
+
+        Reread-after-lock: validates the payload (not just existence), so
+        a corrupt leftover is still overwritten.  Does not touch the
+        hit/miss counters — this is writer bookkeeping, not a lookup.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            return (
+                isinstance(payload, dict)
+                and payload.get("format") == FORMAT_VERSION
+                and payload.get("fingerprint") == fingerprint
+            )
+        except Exception:
+            return False
+
+    def _write(self, fingerprint: str, compiled, path: Path) -> Path:
         payload = {
             "format": FORMAT_VERSION,
             "fingerprint": fingerprint,
@@ -170,12 +236,25 @@ class CompileCache:
         }
 
     def clear(self) -> int:
-        """Delete every artifact; returns how many were removed."""
+        """Delete every artifact; returns how many were removed.
+
+        Takes the writer lock so a concurrent ``store`` is not interleaved
+        with the sweep (its artifact either fully survives or is fully
+        removed, never half-counted).
+        """
         removed = 0
-        for path in self._artifacts():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        try:
+            lock = self._lock.acquire(timeout=self.lock_timeout)
+        except TimeoutError:
+            lock = None
+        try:
+            for path in self._artifacts():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        finally:
+            if lock is not None:
+                lock.release()
         return removed

@@ -10,6 +10,7 @@ annotations (the paper's CP model, Section 3.1).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -117,12 +118,15 @@ class Stmt:
     __slots__ = ()
 
 
-_stmt_counter = [0]
+# itertools.count.__next__ is atomic, so concurrent parses (the compile
+# service runs many client compiles in one process) cannot hand two
+# statements of one program the same id the way the previous
+# read-modify-write list cell could.
+_stmt_counter = itertools.count(1)
 
 
 def _next_stmt_id() -> int:
-    _stmt_counter[0] += 1
-    return _stmt_counter[0]
+    return next(_stmt_counter)
 
 
 @dataclass

@@ -1,0 +1,32 @@
+"""Long-lived compile service (see DESIGN.md §10).
+
+A threaded HTTP server multiplexing concurrent compile+run requests over
+a sharded, cross-process-safe artifact store with single-flight batching
+of identical in-flight compiles:
+
+* :mod:`repro.service.server` — :class:`CompileService` (the
+  protocol-agnostic core) and the stdlib HTTP layer (``repro serve``);
+* :mod:`repro.service.store` — fingerprint-prefix-sharded artifact
+  store, lock-striped, per-shard LRU eviction;
+* :mod:`repro.service.singleflight` — in-flight request coalescing;
+* :mod:`repro.service.client` — keep-alive JSON client
+  (``repro submit``, the load harness);
+* :mod:`repro.service.protocol` — every wire shape in one place;
+* :mod:`repro.service.metrics` — counters, queue depth, p50/p99.
+"""
+
+from .client import ServiceClient, ServiceError
+from .server import CompileService, ServiceHTTPServer, create_server
+from .singleflight import SingleFlight
+from .store import ArtifactShard, ShardedArtifactStore
+
+__all__ = [
+    "ArtifactShard",
+    "CompileService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ShardedArtifactStore",
+    "SingleFlight",
+    "create_server",
+]

@@ -1,0 +1,153 @@
+"""Stdlib HTTP client for the compile service.
+
+One :class:`ServiceClient` wraps one keep-alive connection, so a client
+issuing many requests (the load harness, ``repro submit``) pays the TCP
+handshake once.  Not thread-safe by design — give each simulated client
+thread its own instance; that is also what makes the load harness an
+honest model of independent clients.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Optional, Sequence
+from urllib.parse import urlparse
+
+
+class ServiceError(RuntimeError):
+    """Transport- or server-level failure of a service request."""
+
+    def __init__(self, message: str, status: int = 0,
+                 payload: Optional[dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """A persistent-connection JSON client for one compile server."""
+
+    def __init__(self, url: str = None, host: str = "127.0.0.1",
+                 port: int = 8737, timeout: float = 600.0):
+        if url:
+            parsed = urlparse(url)
+            if parsed.scheme not in ("http", ""):
+                raise ValueError(f"unsupported scheme in {url!r}")
+            host = parsed.hostname or host
+            port = parsed.port or port
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # One reconnect attempt: the server may have idled out the
+        # keep-alive connection between two requests.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            raise ServiceError(
+                f"{method} {path}: non-JSON response "
+                f"(status {response.status})",
+                status=response.status,
+            )
+        if response.status >= 500:
+            raise ServiceError(
+                f"{method} {path}: server error "
+                f"{data.get('error', {}).get('message', '')}",
+                status=response.status, payload=data,
+            )
+        return data
+
+    # -- API ---------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def shutdown(self) -> dict:
+        return self.request("POST", "/shutdown", payload={})
+
+    def compile(self, source: str,
+                options: Optional[Dict[str, object]] = None) -> dict:
+        return self.request(
+            "POST", "/compile",
+            payload={"source": source, "options": options or {}},
+        )
+
+    def run(
+        self,
+        source: str,
+        params: Optional[Dict[str, int]] = None,
+        nprocs: int = 4,
+        backend: Optional[str] = None,
+        validate: bool = True,
+        options: Optional[Dict[str, object]] = None,
+        retries: int = 0,
+        fallback_backends: Sequence[str] = (),
+        fault_spec: Optional[str] = None,
+        fault_seed: int = 0,
+        recv_timeout_s: Optional[float] = None,
+        run_timeout_s: Optional[float] = None,
+    ) -> dict:
+        payload: Dict[str, object] = {
+            "source": source,
+            "options": options or {},
+            "params": params or {},
+            "nprocs": nprocs,
+            "validate": validate,
+        }
+        if backend:
+            payload["backend"] = backend
+        if retries:
+            payload["retries"] = retries
+        if fallback_backends:
+            payload["fallback_backends"] = list(fallback_backends)
+        if fault_spec:
+            payload["fault_spec"] = fault_spec
+            payload["fault_seed"] = fault_seed
+        if recv_timeout_s is not None:
+            payload["recv_timeout_s"] = recv_timeout_s
+        if run_timeout_s is not None:
+            payload["run_timeout_s"] = run_timeout_s
+        return self.request("POST", "/run", payload=payload)

@@ -1,0 +1,123 @@
+"""Structured server metrics: counters, gauges, latency percentiles.
+
+Everything the compile server reports from ``/stats`` is collected here,
+behind plain locks, with a single ``snapshot()`` that renders a
+JSON-ready dict.  Latency percentiles come from a bounded reservoir
+(the most recent ``maxlen`` samples per series) using the nearest-rank
+method — exact for the load-harness scale, and never unbounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Iterable, Optional
+
+
+class LatencyRecorder:
+    """Sliding-window latency series with nearest-rank percentiles."""
+
+    def __init__(self, maxlen: int = 20000):
+        self._samples: "deque[float]" = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total_s += seconds
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile (``p`` in [0, 100]) in seconds."""
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil, 1-based
+        return ordered[int(rank) - 1]
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            samples = sorted(self._samples)
+            count = self.count
+            total = self.total_s
+        def pct(p: float) -> Optional[float]:
+            if not samples:
+                return None
+            rank = max(1, -(-len(samples) * p // 100))
+            return round(samples[int(rank) - 1] * 1e3, 3)
+        return {
+            "count": count,
+            "mean_ms": round(total / count * 1e3, 3) if count else None,
+            "p50_ms": pct(50),
+            "p90_ms": pct(90),
+            "p99_ms": pct(99),
+            "max_ms": round(samples[-1] * 1e3, 3) if samples else None,
+        }
+
+
+class Gauge:
+    """A current-value/high-watermark pair (e.g. in-flight request depth)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+        self.peak = 0
+
+    def __enter__(self) -> "Gauge":
+        with self._lock:
+            self.value += 1
+            self.peak = max(self.peak, self.value)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._lock:
+            self.value -= 1
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {"current": self.value, "peak": self.peak}
+
+
+class ServerMetrics:
+    """All counters and series the compile server exposes on ``/stats``."""
+
+    #: request latency series kept per class of work.
+    SERIES = ("compile_cold", "compile_hot", "compile_coalesced",
+              "compile_bypass", "run")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self.latency: Dict[str, LatencyRecorder] = {
+            name: LatencyRecorder() for name in self.SERIES
+        }
+        self.queue_depth = Gauge()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, series: str, seconds: float) -> None:
+        self.latency.setdefault(series, LatencyRecorder()).observe(seconds)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._counters.items()))
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": self.counters(),
+            "queue_depth": self.queue_depth.snapshot(),
+            "latency": {
+                name: recorder.snapshot()
+                for name, recorder in sorted(self.latency.items())
+                if recorder.count
+            },
+        }

@@ -1,0 +1,359 @@
+"""The compile server: a long-lived, concurrency-safe compile+run service.
+
+Architecture (stdlib only)::
+
+    ThreadingHTTPServer (one thread per connection, keep-alive)
+        └── CompileService          protocol-agnostic core, also usable
+            ├── ShardedArtifactStore    in-process directly (tests, the
+            ├── SingleFlight            cache-roundtrip gate)
+            └── ServerMetrics
+
+Request flow for ``POST /run`` (``/compile`` stops after step 3):
+
+1. parse+validate the JSON body (:mod:`repro.service.protocol`);
+2. fingerprint the (source, options) pair — the same fingerprint the
+   PR 3 persistent cache uses, so server and CLI caches interoperate;
+3. resolve the artifact: in-memory LRU → sharded disk store →
+   **single-flight compile** (concurrent identical fingerprints compile
+   once; waiters are counted as *coalesced*).  ``caching="off"``
+   requests bypass every layer — the A/B guarantee holds through the
+   service;
+4. run the program under the PR 4 supervisor: a crashing backend, a
+   deadlock, or a divergent result returns a *typed* JSON error to that
+   one client (``ok: false`` with the taxonomy name and transience);
+   the server itself never dies with the request.
+
+``GET /stats`` reports per-shard hit/miss/eviction counters, in-memory
+artifact cache stats, single-flight coalescing totals, queue depth, and
+p50/p99 latency per request class.  ``POST /shutdown`` stops the server
+(the server binds loopback by default; there is no authentication —
+do not expose it beyond a trusted host).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..cache.manager import caches
+from ..cache.persist import compute_fingerprint, default_cache_dir
+from ..core.driver import CompiledProgram, compile_program
+from ..runtime.errors import CommunicationError
+from ..runtime.faults import FaultPlan
+from ..runtime.harness import RetryPolicy, ValidationError, run_compiled
+from ..runtime.options import RuntimeOptions
+from .metrics import ServerMetrics
+from .protocol import (
+    BadRequest,
+    compile_meta_to_wire,
+    error_to_wire,
+    options_from_wire,
+    outcome_to_wire,
+    sha256_text,
+)
+from .singleflight import SingleFlight
+from .store import ShardedArtifactStore
+
+DEFAULT_PORT = 8737
+
+
+class CompileService:
+    """Protocol-agnostic request core shared by HTTP and in-process use."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        nshards: int = 8,
+        shard_capacity: int = 256,
+        memory_artifacts: int = 64,
+    ):
+        self.store = ShardedArtifactStore(
+            cache_dir or default_cache_dir(),
+            nshards=nshards,
+            shard_capacity=shard_capacity,
+        )
+        self.flight = SingleFlight()
+        self.metrics = ServerMetrics()
+        # Deserialized artifacts kept hot in memory (bounded; the disk
+        # store remains the source of truth and survives restarts).
+        self._mem = caches.register(
+            "service.artifacts", maxsize=memory_artifacts
+        )
+        self.started_at = time.time()
+
+    # -- compile -----------------------------------------------------------
+
+    def compile_source(
+        self, source: str, options_data: Optional[dict] = None
+    ) -> Tuple[CompiledProgram, Dict[str, object]]:
+        """Resolve an artifact for (source, options); returns it plus the
+        compile metadata dict (fingerprint, cache kind, latency)."""
+        if not isinstance(source, str) or not source.strip():
+            raise BadRequest("'source' must be non-empty program text")
+        options = options_from_wire(options_data)
+        fingerprint = compute_fingerprint(source, options)
+        start = time.perf_counter()
+
+        if options.caching == "off":
+            # The A/B path: no memoization, no artifact reuse, no
+            # single-flight result sharing across options (the compile
+            # itself still coalesces with an identical off request).
+            compiled, coalesced = self.flight.do(
+                ("off", fingerprint),
+                lambda: compile_program(source, options),
+            )
+            kind = "bypass"
+        else:
+            compiled, kind = self._cached_compile(source, options,
+                                                  fingerprint)
+            coalesced = kind == "coalesced"
+        elapsed = time.perf_counter() - start
+        self.metrics.incr(f"compile.{kind}")
+        self.metrics.observe(f"compile_{kind}", elapsed)
+        meta = compile_meta_to_wire(
+            fingerprint,
+            kind,
+            elapsed * 1e3,
+            sha256_text(source),
+            sha256_text(compiled.source),
+        )
+        if coalesced:
+            meta["coalesced"] = True
+        return compiled, meta
+
+    def _cached_compile(self, source, options, fingerprint):
+        found, value = self._mem.lookup(fingerprint)
+        if found:
+            return value, "hot"
+        compiled = self.store.load(fingerprint)
+        if compiled is not None:
+            compiled.cache_hit = True
+            self._mem.put(fingerprint, compiled)
+            return compiled, "hot"
+
+        def compile_and_store():
+            built = compile_program(
+                source, options.with_(cache_dir=None)
+            )
+            self.store.store(fingerprint, built)
+            self._mem.put(fingerprint, built)
+            return built
+
+        compiled, coalesced = self.flight.do(fingerprint, compile_and_store)
+        return compiled, ("coalesced" if coalesced else "cold")
+
+    # -- requests ----------------------------------------------------------
+
+    def handle_compile(self, payload: dict) -> Dict[str, object]:
+        _, meta = self.compile_source(
+            payload.get("source"), payload.get("options")
+        )
+        return {"ok": True, **meta}
+
+    def handle_run(self, payload: dict) -> Dict[str, object]:
+        compiled, meta = self.compile_source(
+            payload.get("source"), payload.get("options")
+        )
+        params = payload.get("params") or {}
+        if not isinstance(params, dict):
+            raise BadRequest("'params' must be an object of integers")
+        try:
+            params = {str(k): int(v) for k, v in params.items()}
+        except (TypeError, ValueError):
+            raise BadRequest("'params' values must be integers")
+        nprocs = int(payload.get("nprocs", 4))
+        backend = payload.get("backend") or "threads"
+        validate = bool(payload.get("validate", True))
+        retries = int(payload.get("retries", 0))
+        fallback = tuple(payload.get("fallback_backends") or ())
+
+        runtime_options = RuntimeOptions(backend=backend)
+        for knob in ("recv_timeout_s", "run_timeout_s"):
+            if payload.get(knob) is not None:
+                try:
+                    value = float(payload[knob])
+                except (TypeError, ValueError):
+                    raise BadRequest(f"'{knob}' must be a number")
+                if value <= 0:
+                    raise BadRequest(f"'{knob}' must be positive")
+                runtime_options = runtime_options.with_(**{knob: value})
+        if payload.get("fault_spec"):
+            try:
+                plan = FaultPlan.parse(
+                    payload["fault_spec"],
+                    seed=int(payload.get("fault_seed", 0)),
+                )
+            except ValueError as exc:
+                raise BadRequest(f"fault_spec: {exc}")
+            runtime_options = runtime_options.with_(fault_plan=plan)
+        if fallback:
+            runtime_options = runtime_options.with_(
+                fallback_backends=fallback
+            )
+        retry_policy = (
+            RetryPolicy(max_attempts=retries + 1)
+            if retries or fallback
+            else None
+        )
+
+        start = time.perf_counter()
+        # The supervisor boundary: typed failures become per-request
+        # error payloads, never a dead server thread.
+        try:
+            outcome = run_compiled(
+                compiled,
+                params=params,
+                nprocs=nprocs,
+                validate=validate,
+                backend=backend,
+                runtime_options=runtime_options,
+                retry_policy=retry_policy,
+            )
+        except (CommunicationError, ValidationError, ValueError) as exc:
+            self.metrics.incr("run.failed")
+            return {"ok": False, **meta, "error": error_to_wire(exc)}
+        elapsed = time.perf_counter() - start
+        self.metrics.incr("run.ok")
+        self.metrics.observe("run", elapsed)
+        return {
+            "ok": True,
+            **meta,
+            "run_ms": round(elapsed * 1e3, 3),
+            "validated": validate,
+            "outcome": outcome_to_wire(outcome),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        memo = {
+            name: {
+                "hits": s.hits,
+                "misses": s.misses,
+                "evictions": s.evictions,
+                "size": s.size,
+                "maxsize": s.maxsize,
+            }
+            for name, s in caches.stats().items()
+            if s.lookups or s.size
+        }
+        return {
+            "ok": True,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "store": self.store.stats(),
+            "single_flight": {
+                "led": self.flight.led_total,
+                "coalesced": self.flight.coalesced_total,
+                "in_flight": self.flight.in_flight(),
+            },
+            "memo_caches": memo,
+            **self.metrics.snapshot(),
+        }
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # The stdlib default backlog of 5 drops (kernel-resets) connections
+    # the moment a burst of clients arrives faster than accept() runs.
+    request_queue_size = 128
+
+    def __init__(self, address, service: CompileService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-compile-service"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise BadRequest("missing request body")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except ValueError:
+            raise BadRequest("request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        service = self.server.service
+        with service.metrics.queue_depth:
+            try:
+                status, payload = handler()
+            except BadRequest as exc:
+                service.metrics.incr("requests.bad")
+                status, payload = 400, {"ok": False,
+                                        "error": error_to_wire(exc)}
+            except Exception as exc:  # never kill the connection thread
+                service.metrics.incr("requests.error")
+                status, payload = 500, {"ok": False,
+                                        "error": error_to_wire(exc)}
+        self._send_json(status, payload)
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self):
+        if self.path == "/healthz":
+            self._dispatch(lambda: (200, {"ok": True}))
+        elif self.path == "/stats":
+            self._dispatch(lambda: (200, self.server.service.stats()))
+        else:
+            self._send_json(404, {"ok": False,
+                                  "error": {"type": "NotFound",
+                                            "message": self.path}})
+
+    def do_POST(self):
+        service = self.server.service
+        if self.path == "/compile":
+            self._dispatch(
+                lambda: (200, service.handle_compile(self._read_json()))
+            )
+        elif self.path == "/run":
+            self._dispatch(
+                lambda: (200, service.handle_run(self._read_json()))
+            )
+        elif self.path == "/shutdown":
+            self._send_json(200, {"ok": True, "stopping": True})
+            threading.Thread(target=self.server.shutdown,
+                             daemon=True).start()
+        else:
+            self._send_json(404, {"ok": False,
+                                  "error": {"type": "NotFound",
+                                            "message": self.path}})
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    cache_dir: Optional[str] = None,
+    nshards: int = 8,
+    shard_capacity: int = 256,
+    quiet: bool = True,
+    service: Optional[CompileService] = None,
+) -> ServiceHTTPServer:
+    """Bind (but do not start) a compile server; ``port=0`` picks a free
+    port, readable afterwards from ``server.server_address``."""
+    service = service or CompileService(
+        cache_dir=cache_dir, nshards=nshards, shard_capacity=shard_capacity
+    )
+    return ServiceHTTPServer((host, port), service, quiet=quiet)

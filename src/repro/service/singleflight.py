@@ -1,0 +1,82 @@
+"""Single-flight batching: identical in-flight keys compute once.
+
+When a burst of clients submits the same program (same compile
+fingerprint) before the first compile finishes, compiling it once per
+request wastes exactly ``burst - 1`` compiles — and on a GIL-bound
+compiler, serializes everyone behind redundant work.  A
+:class:`SingleFlight` group collapses the burst: the first caller (the
+*leader*) runs the computation, every concurrent duplicate (the
+*waiters*) blocks on the leader's result and receives the same value.
+A leader failure propagates the same exception to every waiter — a bad
+program does not get retried once per queued client.
+
+Keys are only coalesced while in flight: once the leader finishes, the
+key leaves the table and the next request for it starts fresh (by then
+it is normally a cache hit instead).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class _Call:
+    __slots__ = ("event", "value", "exc", "waiters")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.exc: BaseException = None
+        self.waiters = 0
+
+
+class SingleFlight:
+    """Collapse concurrent calls with equal keys into one execution."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._calls: Dict[Hashable, _Call] = {}
+        #: total requests that were answered by another call's result.
+        self.coalesced_total = 0
+        #: total leader executions.
+        self.led_total = 0
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._calls)
+
+    def do(self, key: Hashable, fn: Callable[[], T]) -> Tuple[T, bool]:
+        """Return ``(result, coalesced)`` for ``fn`` keyed by ``key``.
+
+        ``coalesced`` is True when this call rode on another in-flight
+        execution instead of running ``fn`` itself.
+        """
+        with self._lock:
+            call = self._calls.get(key)
+            if call is None:
+                call = _Call()
+                self._calls[key] = call
+                self.led_total += 1
+                leader = True
+            else:
+                call.waiters += 1
+                self.coalesced_total += 1
+                leader = False
+        if leader:
+            try:
+                call.value = fn()
+            except BaseException as exc:
+                call.exc = exc
+                raise
+            finally:
+                with self._lock:
+                    del self._calls[key]
+                call.event.set()
+            return call.value, False
+        call.event.wait()
+        if call.exc is not None:
+            raise call.exc
+        return call.value, True

@@ -1,0 +1,173 @@
+"""Sharded, lock-striped, cross-process-safe compile-artifact store.
+
+The PR 3 persistent cache (:class:`~repro.cache.persist.CompileCache`)
+is one flat directory: correct, but every writer serializes on a single
+advisory lock and LRU bookkeeping would scan one ever-growing listing.
+The service store shards it **by fingerprint prefix**: fingerprints are
+uniform SHA-256 hex, so ``int(fp[:8], 16) % nshards`` spreads artifacts
+evenly across ``shard-XX/`` subdirectories, each of which is a complete,
+self-contained ``CompileCache`` with
+
+* its own in-process mutex (lock striping — concurrent clients touching
+  different shards never contend),
+* its own on-disk advisory ``.lock`` (concurrent *processes* — a second
+  server, ad-hoc CLI compiles — serialize per shard, not globally),
+* its own LRU bound: each artifact's file mtime is refreshed on hit, and
+  after every store the shard evicts oldest-mtime artifacts beyond
+  ``shard_capacity``.  The bookkeeping is the directory itself — there
+  is no index file to corrupt, so a crashed writer can strand at most a
+  tmp file, never wedge the shard.
+
+Artifacts stay byte-compatible with the flat cache (same payload format,
+same fingerprint check on load), so anything that can read a PR 3 cache
+can read one shard of this store.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..cache.locks import LockTimeout
+from ..cache.persist import (
+    _ARTIFACT_PREFIX,
+    _ARTIFACT_SUFFIX,
+    CompileCache,
+)
+
+
+class ArtifactShard:
+    """One lock stripe of the store: a bounded ``CompileCache`` directory."""
+
+    def __init__(self, index: int, root: Path, capacity: int,
+                 lock_timeout: float = 10.0, lock_stale_after: float = 30.0):
+        self.index = index
+        self.root = root
+        self.capacity = capacity
+        self.cache = CompileCache(
+            str(root), lock_timeout=lock_timeout,
+            lock_stale_after=lock_stale_after,
+        )
+        self._mutex = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def load(self, fingerprint: str):
+        compiled = self.cache.load(fingerprint)
+        with self._mutex:
+            if compiled is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        if compiled is not None:
+            # Refresh recency so LRU eviction sees this artifact as live.
+            try:
+                os.utime(self.cache.path_for(fingerprint), None)
+            except OSError:
+                pass
+        return compiled
+
+    def store(self, fingerprint: str, compiled) -> None:
+        self.cache.store(fingerprint, compiled)
+        with self._mutex:
+            self.stores += 1
+        self._evict()
+
+    def _evict(self) -> None:
+        """Unlink oldest-mtime artifacts beyond capacity, under the shard's
+        cross-process lock so two writers never double-count or race the
+        sweep.  An unobtainable lock skips eviction (next store retries)."""
+        try:
+            lock = self.cache.lock.acquire()
+        except LockTimeout:
+            return
+        try:
+            entries = []
+            for path in self.root.iterdir() if self.root.is_dir() else ():
+                name = path.name
+                if not (name.startswith(_ARTIFACT_PREFIX)
+                        and name.endswith(_ARTIFACT_SUFFIX)):
+                    continue
+                try:
+                    entries.append((path.stat().st_mtime, path))
+                except OSError:
+                    continue
+            excess = len(entries) - self.capacity
+            if excess <= 0:
+                return
+            entries.sort()
+            for _, path in entries[:excess]:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                with self._mutex:
+                    self.evictions += 1
+        finally:
+            lock.release()
+
+    def stats(self) -> Dict[str, object]:
+        base = self.cache.stats()
+        with self._mutex:
+            return {
+                "entries": base["entries"],
+                "bytes": base["bytes"],
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+            }
+
+
+class ShardedArtifactStore:
+    """N lock-striped :class:`ArtifactShard` directories under one root."""
+
+    def __init__(self, root: str, nshards: int = 8,
+                 shard_capacity: int = 256, lock_timeout: float = 10.0,
+                 lock_stale_after: float = 30.0):
+        if nshards <= 0:
+            raise ValueError("nshards must be positive")
+        if shard_capacity <= 0:
+            raise ValueError("shard_capacity must be positive")
+        self.root = Path(root)
+        self.shards = [
+            ArtifactShard(
+                i, self.root / f"shard-{i:02x}", shard_capacity,
+                lock_timeout=lock_timeout,
+                lock_stale_after=lock_stale_after,
+            )
+            for i in range(nshards)
+        ]
+
+    def shard_for(self, fingerprint: str) -> ArtifactShard:
+        return self.shards[int(fingerprint[:8], 16) % len(self.shards)]
+
+    def load(self, fingerprint: str):
+        return self.shard_for(fingerprint).load(fingerprint)
+
+    def store(self, fingerprint: str, compiled) -> None:
+        self.shard_for(fingerprint).store(fingerprint, compiled)
+
+    def clear(self) -> int:
+        return sum(shard.cache.clear() for shard in self.shards)
+
+    def stats(self) -> Dict[str, object]:
+        per_shard = {
+            f"shard-{shard.index:02x}": shard.stats()
+            for shard in self.shards
+        }
+        totals: Dict[str, int] = {}
+        for stats in per_shard.values():
+            for key, value in stats.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return {
+            "dir": str(self.root),
+            "nshards": len(self.shards),
+            "shard_capacity": self.shards[0].capacity,
+            "totals": totals,
+            "shards": per_shard,
+        }

@@ -131,7 +131,7 @@ def test_corrupted_artifact_falls_back_to_cold_compile(tmp_path):
     recompiled = compile_program(PROGRAM, options)
     assert not recompiled.cache_hit
     # The bad artifact was unlinked and replaced by the fresh store.
-    assert pickle.load(open(path, "rb"))["fingerprint"] == fingerprint
+    assert pickle.loads(path.read_bytes())["fingerprint"] == fingerprint
     assert compile_program(PROGRAM, options).cache_hit
 
 

@@ -1,0 +1,123 @@
+"""Single-flight batching: one execution per in-flight key."""
+
+import threading
+
+import pytest
+
+from repro.service.singleflight import SingleFlight
+
+
+def test_leader_computes_once_waiters_coalesce():
+    group = SingleFlight()
+    release = threading.Event()
+    computed = []
+
+    def compute():
+        release.wait(timeout=10)
+        computed.append(object())
+        return "artifact"
+
+    results = []
+    threads = [
+        threading.Thread(
+            target=lambda: results.append(group.do("key", compute))
+        )
+        for _ in range(8)
+    ]
+    for t in threads:
+        t.start()
+    # Every duplicate must be parked on the leader before it finishes.
+    deadline = [group.coalesced_total]
+    for _ in range(1000):
+        deadline[0] = group.coalesced_total
+        if deadline[0] == 7:
+            break
+        threading.Event().wait(0.005)
+    release.set()
+    for t in threads:
+        t.join(timeout=10)
+    assert len(computed) == 1
+    assert len(results) == 8
+    values = {value for value, _ in results}
+    assert values == {"artifact"}
+    assert sum(1 for _, coalesced in results if not coalesced) == 1
+    assert group.coalesced_total == 7
+    assert group.led_total == 1
+    assert group.in_flight() == 0
+
+
+def test_leader_failure_propagates_to_every_waiter():
+    group = SingleFlight()
+    release = threading.Event()
+
+    def explode():
+        release.wait(timeout=10)
+        raise RuntimeError("compile failed")
+
+    outcomes = []
+
+    def call():
+        try:
+            group.do("bad", explode)
+            outcomes.append("ok")
+        except RuntimeError as exc:
+            outcomes.append(str(exc))
+
+    threads = [threading.Thread(target=call) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for _ in range(1000):
+        if group.coalesced_total == 3:
+            break
+        threading.Event().wait(0.005)
+    release.set()
+    for t in threads:
+        t.join(timeout=10)
+    assert outcomes == ["compile failed"] * 4
+    assert group.in_flight() == 0
+
+
+def test_distinct_keys_do_not_serialize():
+    group = SingleFlight()
+    barrier = threading.Barrier(3, timeout=10)
+
+    def make(key):
+        def compute():
+            # All three keys must be in flight simultaneously for the
+            # barrier to pass — a serialized group would deadlock here.
+            barrier.wait()
+            return key
+
+        return compute
+
+    results = []
+    threads = [
+        threading.Thread(
+            target=lambda k=k: results.append(group.do(k, make(k)))
+        )
+        for k in ("a", "b", "c")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert sorted(value for value, _ in results) == ["a", "b", "c"]
+    assert group.coalesced_total == 0
+
+
+def test_key_leaves_the_table_after_completion():
+    group = SingleFlight()
+    value, coalesced = group.do("k", lambda: 1)
+    assert (value, coalesced) == (1, False)
+    # A later identical request starts fresh (normally a cache hit by
+    # then, but single-flight itself must not memoize).
+    value, coalesced = group.do("k", lambda: 2)
+    assert (value, coalesced) == (2, False)
+    assert group.led_total == 2
+
+
+def test_failed_key_can_be_retried():
+    group = SingleFlight()
+    with pytest.raises(ValueError):
+        group.do("k", lambda: (_ for _ in ()).throw(ValueError("boom")))
+    assert group.do("k", lambda: "recovered") == ("recovered", False)

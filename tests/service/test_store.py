@@ -1,0 +1,243 @@
+"""Sharded artifact store: routing, LRU eviction, cross-process races,
+advisory-lock stale recovery.  The multi-process tests are the shard-write
+race gate and run under ``-W error`` in CI."""
+
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.cache.locks import FileLock, LockTimeout
+from repro.service.store import ShardedArtifactStore
+
+NSHARDS = 4
+
+
+def fp_for_shard(shard: int, serial: int, nshards: int = NSHARDS) -> str:
+    """A synthetic 64-hex fingerprint routed to ``shard``."""
+    return f"{serial * nshards + shard:08x}" + f"{serial:056x}"
+
+
+# -- routing and round-trip ------------------------------------------------
+
+
+def test_same_fingerprint_routes_to_same_shard(tmp_path):
+    store = ShardedArtifactStore(str(tmp_path), nshards=NSHARDS)
+    fp = fp_for_shard(2, 7)
+    assert store.shard_for(fp) is store.shard_for(fp)
+    assert store.shard_for(fp).index == 2
+
+
+def test_round_trip_and_stats(tmp_path):
+    store = ShardedArtifactStore(str(tmp_path), nshards=NSHARDS,
+                                 shard_capacity=8)
+    payload = {"program": "jacobi", "blob": list(range(32))}
+    fp = fp_for_shard(1, 0)
+    assert store.load(fp) is None
+    store.store(fp, payload)
+    assert store.load(fp) == payload
+    stats = store.stats()
+    assert stats["totals"]["entries"] == 1
+    assert stats["totals"]["hits"] == 1
+    assert stats["totals"]["misses"] == 1
+    assert stats["shards"]["shard-01"]["stores"] == 1
+    # On-disk layout: the artifact lives inside its shard directory.
+    assert (tmp_path / "shard-01").is_dir()
+
+
+def test_lru_eviction_bounds_each_shard(tmp_path):
+    store = ShardedArtifactStore(str(tmp_path), nshards=NSHARDS,
+                                 shard_capacity=2)
+    shard = store.shards[3]
+    fps = [fp_for_shard(3, i) for i in range(5)]
+    for i, fp in enumerate(fps):
+        store.store(fp, {"serial": i})
+        # Deterministic recency without sleeping between stores.
+        os.utime(shard.cache.path_for(fp), (100.0 + i, 100.0 + i))
+    stats = shard.stats()
+    assert stats["entries"] == 2
+    assert stats["evictions"] == 3
+    assert store.load(fps[0]) is None  # oldest gone
+    assert store.load(fps[4]) == {"serial": 4}  # newest kept
+
+
+def test_hit_refreshes_recency(tmp_path):
+    store = ShardedArtifactStore(str(tmp_path), nshards=NSHARDS,
+                                 shard_capacity=2)
+    shard = store.shards[0]
+    a, b, c = (fp_for_shard(0, i) for i in range(3))
+    store.store(a, "A")
+    store.store(b, "B")
+    os.utime(shard.cache.path_for(a), (100.0, 100.0))
+    os.utime(shard.cache.path_for(b), (200.0, 200.0))
+    assert store.load(a) == "A"  # refreshes a's mtime to now
+    store.store(c, "C")  # evicts the oldest, which is now b
+    assert store.load(b) is None
+    assert store.load(a) == "A"
+    assert store.load(c) == "C"
+
+
+def test_other_shards_untouched_by_eviction(tmp_path):
+    store = ShardedArtifactStore(str(tmp_path), nshards=NSHARDS,
+                                 shard_capacity=1)
+    for shard_index in range(NSHARDS):
+        store.store(fp_for_shard(shard_index, 0), shard_index)
+    for shard_index in range(NSHARDS):
+        assert store.load(fp_for_shard(shard_index, 0)) == shard_index
+    assert store.stats()["totals"]["evictions"] == 0
+
+
+# -- cross-process shard-write race ---------------------------------------
+
+
+def _race_worker(root, worker, iterations, result_queue):
+    """Hammer one store root: store + load a small shared key space."""
+    try:
+        store = ShardedArtifactStore(root, nshards=NSHARDS,
+                                     shard_capacity=3)
+        for i in range(iterations):
+            serial = (worker + i) % 6
+            shard = serial % NSHARDS
+            fp = fp_for_shard(shard, serial)
+            store.store(fp, {"serial": serial, "blob": "x" * 256})
+            loaded = store.load(fp)
+            # A concurrent eviction may have removed it, but a present
+            # artifact must never be torn or belong to another key.
+            if loaded is not None and loaded["serial"] != serial:
+                result_queue.put(
+                    f"worker {worker}: wrong payload for {fp}"
+                )
+                return
+        result_queue.put("ok")
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        result_queue.put(f"worker {worker}: {type(exc).__name__}: {exc}")
+
+
+def test_multiprocess_shard_write_race(tmp_path):
+    """Four writer processes race stores, loads, and evictions on one
+    root; every surviving artifact must load clean afterwards."""
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    workers = [
+        ctx.Process(target=_race_worker,
+                    args=(str(tmp_path), w, 25, queue))
+        for w in range(4)
+    ]
+    for p in workers:
+        p.start()
+    outcomes = [queue.get(timeout=120) for _ in workers]
+    for p in workers:
+        p.join(timeout=30)
+        assert p.exitcode == 0
+    assert outcomes == ["ok"] * 4
+    # Post-mortem: bounds respected, every artifact valid.
+    store = ShardedArtifactStore(str(tmp_path), nshards=NSHARDS,
+                                 shard_capacity=3)
+    stats = store.stats()
+    assert 0 < stats["totals"]["entries"] <= NSHARDS * 3
+    for serial in range(6):
+        fp = fp_for_shard(serial % NSHARDS, serial)
+        loaded = store.load(fp)
+        if loaded is not None:
+            assert loaded["serial"] == serial
+    # No stranded tmp files (a crashed or raced writer cleans up).
+    strays = [
+        p for p in tmp_path.rglob(".tmp-*")
+    ]
+    assert strays == []
+
+
+# -- advisory-lock behaviour ----------------------------------------------
+
+
+def _hold_lock_forever(path):
+    lock = FileLock(path, stale_after=3600.0)
+    lock.acquire(timeout=5)
+    os.kill(os.getpid(), signal.SIGSTOP)  # wedge while holding
+
+
+def test_lock_released_when_holder_dies(tmp_path):
+    """flock is kernel-owned: SIGKILLing the holder frees the lock."""
+    path = tmp_path / ".lock"
+    ctx = multiprocessing.get_context("fork")
+    holder = ctx.Process(target=_hold_lock_forever, args=(str(path),))
+    holder.start()
+    try:
+        deadline = time.monotonic() + 10
+        lock = FileLock(path, stale_after=3600.0)
+        while time.monotonic() < deadline:
+            try:
+                lock.acquire(timeout=0.05)
+            except LockTimeout:
+                break  # holder owns it now
+            lock.release()
+            time.sleep(0.02)
+        else:
+            pytest.fail("holder never took the lock")
+        holder.kill()
+        holder.join(timeout=10)
+        # The kernel released the dead holder's flock; no stale wait.
+        lock.acquire(timeout=2.0)
+        lock.release()
+    finally:
+        if holder.is_alive():
+            holder.kill()
+            holder.join(timeout=10)
+
+
+def test_stale_lock_is_broken_after_grace(tmp_path):
+    """A wedged-but-alive holder is bypassed once the lock file ages out."""
+    path = tmp_path / ".lock"
+    ctx = multiprocessing.get_context("fork")
+    holder = ctx.Process(target=_hold_lock_forever, args=(str(path),))
+    holder.start()
+    try:
+        deadline = time.monotonic() + 10
+        probe = FileLock(path, stale_after=3600.0)
+        while time.monotonic() < deadline:
+            try:
+                probe.acquire(timeout=0.05)
+            except LockTimeout:
+                break
+            probe.release()
+            time.sleep(0.02)
+        else:
+            pytest.fail("holder never took the lock")
+        # Make the holder look long-wedged, then steal.
+        os.utime(path, (1.0, 1.0))
+        waiter = FileLock(path, stale_after=0.5)
+        waiter.acquire(timeout=0.5)
+        waiter.release()
+    finally:
+        holder.kill()
+        holder.join(timeout=10)
+
+
+def test_lock_timeout_when_holder_is_live(tmp_path):
+    path = tmp_path / ".lock"
+    a = FileLock(path, stale_after=3600.0)
+    b = FileLock(path, stale_after=3600.0)
+    a.acquire(timeout=1)
+    try:
+        with pytest.raises(LockTimeout):
+            b.acquire(timeout=0.3)
+    finally:
+        a.release()
+    b.acquire(timeout=1)
+    b.release()
+
+
+def test_artifact_files_are_flat_cache_compatible(tmp_path):
+    """A shard is a plain CompileCache directory: the PR 3 reader loads it."""
+    from repro.cache.persist import CompileCache
+
+    store = ShardedArtifactStore(str(tmp_path), nshards=NSHARDS)
+    fp = fp_for_shard(2, 9)
+    store.store(fp, {"compat": True})
+    flat = CompileCache(str(tmp_path / "shard-02"))
+    assert flat.load(fp) == {"compat": True}
+    raw = pickle.loads(flat.path_for(fp).read_bytes())
+    assert raw["fingerprint"] == fp
