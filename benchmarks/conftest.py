@@ -25,6 +25,9 @@ BENCH_KERNELS_PATH = (
 BENCH_SERVICE_PATH = (
     Path(__file__).resolve().parents[1] / "BENCH_service.json"
 )
+BENCH_COMPILE_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_compile.json"
+)
 
 
 def emit(line: str = "") -> None:
@@ -77,6 +80,16 @@ def record_service(section: str, payload) -> None:
     _record_json(
         BENCH_SERVICE_PATH,
         "benchmarks (compile service load harness)",
+        section,
+        payload,
+    )
+
+
+def record_compile(section: str, payload) -> None:
+    """Read-modify-write one section of ``BENCH_compile.json``."""
+    _record_json(
+        BENCH_COMPILE_PATH,
+        "benchmarks (cold compile time vs recorded seed baseline)",
         section,
         payload,
     )

@@ -1,0 +1,94 @@
+"""Cold-compile wall-clock vs the recorded seed baseline.
+
+The set-engine performance overhaul (profiler-driven: GCD/interval
+emptiness pre-tests, corner-witness nonemptiness probe, syntactic
+redundancy fast paths, O(n) normalize, eager subsumption pruning,
+incremental redundancy removal, lazy interned hashes) targets *cold*
+compile latency — a fresh process with empty memoization caches, which
+is what an interactive user pays.
+
+``SEED_BASELINE_S`` records the cold compile times measured at the
+pre-overhaul seed commit on the CI-class container this suite runs on.
+The test recompiles every benchmark program cold, writes the comparison
+to ``BENCH_compile.json``, and **asserts the jacobi floor**: jacobi must
+stay at least ``JACOBI_FLOOR``× faster than its seed time.  A regression
+past the floor fails benchmark-smoke in CI.
+
+Absolute times move with hardware; the floor is deliberately set at 5×
+against a measured ~7× so that CI noise does not flake, while a real
+algorithmic regression (losing any one of the major fast paths drops
+the speedup below 3×) still trips it.
+"""
+
+import time
+
+from repro import compile_program
+from repro.cache.manager import reset_caches
+from repro.core.options import CompilerOptions
+from repro.programs import (
+    erlebacher,
+    gauss,
+    jacobi,
+    redblack,
+    sp_like,
+    tomcatv,
+)
+
+from conftest import emit, record_compile
+
+#: Cold compile seconds at the pre-overhaul seed commit (measured on the
+#: reference container, caching="on" with empty caches — the same
+#: configuration this test runs).
+SEED_BASELINE_S = {
+    "jacobi": 89.26,
+    "tomcatv": 2.19,
+    "erlebacher": 1.35,
+    "gauss": 0.10,
+    "redblack": 43.96,
+    "sp_like": 87.52,
+}
+
+#: Asserted floor: jacobi cold compile must stay at least this many
+#: times faster than the seed baseline.
+JACOBI_FLOOR = 5.0
+
+
+def _sources():
+    return {
+        "gauss": gauss(),
+        "tomcatv": tomcatv(),
+        "erlebacher": erlebacher(),
+        "redblack": redblack(),
+        "jacobi": jacobi(),
+        "sp_like": sp_like(),
+    }
+
+
+def test_cold_compile_speedup_floor():
+    rows = {}
+    for name, source in _sources().items():
+        reset_caches()
+        start = time.perf_counter()
+        compiled = compile_program(source, CompilerOptions())
+        elapsed = time.perf_counter() - start
+        assert not compiled.cache_hit, f"{name}: cold compile was warm"
+        seed = SEED_BASELINE_S[name]
+        rows[name] = {
+            "cold_s": round(elapsed, 3),
+            "seed_s": seed,
+            "speedup": round(seed / elapsed, 2),
+        }
+        emit(
+            f"{name:12s} cold {elapsed:7.2f}s  seed {seed:7.2f}s  "
+            f"{seed / elapsed:5.1f}x"
+        )
+    record_compile(
+        "cold_compile",
+        {"programs": rows, "jacobi_floor": JACOBI_FLOOR},
+    )
+    jacobi_speedup = rows["jacobi"]["speedup"]
+    assert jacobi_speedup >= JACOBI_FLOOR, (
+        f"jacobi cold compile regressed: {jacobi_speedup:.1f}x vs the "
+        f"asserted {JACOBI_FLOOR:.0f}x floor over the seed baseline "
+        f"({rows['jacobi']['cold_s']:.1f}s vs {SEED_BASELINE_S['jacobi']}s)"
+    )

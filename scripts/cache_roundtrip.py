@@ -13,7 +13,20 @@ directory and asserts, for each program:
   one vectorized statement), and the two compute planes
   (``compute="kernels"`` / ``"scalar"``) key distinct cache entries.
 
-It then boots the compile service in-process and gates the service
+It then runs the full-benchmark identity suite: each of the six
+benchmark programs (jacobi, tomcatv, erlebacher, gauss, redblack,
+sp_like) must compile — cold, warm, and on the ``caching="off"`` A/B
+path — to a node program whose SHA-256 matches the pinned value below.
+The pins freeze the artifact bytes across optimization work on the set
+engine: any change to them means an optimization leaked into the
+emitted representation and must either be fixed or consciously
+re-pinned with a DESIGN.md justification.  The suite compiles the
+programs in sequence inside one process, so order-dependent solver
+state (fresh-name counters) that leaks into an artifact shows up as a
+pin mismatch — this is how the redblack counter-nondeterminism was
+caught and is kept fixed.
+
+Finally it boots the compile service in-process and gates the service
 path: a submitted compile must produce an artifact byte-identical to
 the local one, a resubmit must be a hot hit, and one run per backend
 (threads / mp / inproc-seq) through the service must agree on traffic
@@ -24,9 +37,12 @@ Exits non-zero (with a diagnostic) on any violation.
 Usage::
 
     PYTHONPATH=src python scripts/cache_roundtrip.py [--cache-dir DIR]
+    PYTHONPATH=src python scripts/cache_roundtrip.py --quick  # skip the
+        six-benchmark identity suite (several minutes of compiles)
 """
 
 import argparse
+import hashlib
 import sys
 import tempfile
 import time
@@ -34,7 +50,14 @@ import time
 from repro import compile_program
 from repro.cache.manager import reset_caches
 from repro.core.options import CompilerOptions
-from repro.programs import sp_like
+from repro.programs import (
+    erlebacher,
+    gauss,
+    jacobi,
+    redblack,
+    sp_like,
+    tomcatv,
+)
 
 JACOBI_1D = """
 program roundtrip
@@ -66,6 +89,75 @@ def programs():
             symbolic_procs=True, routines=1, nests_per_routine=1
         ),
     }
+
+
+#: SHA-256 of the node program each benchmark must emit (every cache
+#: mode).  jacobi/tomcatv/erlebacher/gauss/sp_like are the pre-overhaul
+#: artifacts, unchanged by the set-engine optimizations; redblack is the
+#: canonical artifact of the determinism fix (stride residues reduced mod
+#: their modulus at emission — the old artifact depended on fresh-name
+#: counter state and was one of several congruent outputs).
+BENCHMARK_SHAS = {
+    "jacobi": (
+        "cd343ac98b2695fea490c8020ca61cb28b470ddec63efe1d08efa385e9ad84af"
+    ),
+    "tomcatv": (
+        "b1efd10cda3d8a2e3614b6cf507a8357b4a2ef8e8b6adc82210b9046af402655"
+    ),
+    "erlebacher": (
+        "d623cfee0b9fddc34ca8be5e536915bd915e28cb1f08e63769e52f6d11c5d2c9"
+    ),
+    "gauss": (
+        "0f010d60990c227bece81aefe78891180a20021776ed140ec3163d6c9b388a81"
+    ),
+    "redblack": (
+        "f70ba7619ac6da0f967eb67f1d2873285d73f2a5a3dd858584581ccf0bac6f0e"
+    ),
+    "sp_like": (
+        "82d549ee58ffb4a001ee144cf4d42d3a505125cbb3fbe0f6923047dd1174cc50"
+    ),
+}
+
+
+def benchmark_sources():
+    return {
+        "gauss": gauss(),
+        "tomcatv": tomcatv(),
+        "erlebacher": erlebacher(),
+        "redblack": redblack(),
+        "jacobi": jacobi(),
+        "sp_like": sp_like(),
+    }
+
+
+def check_benchmark(name: str, source: str, cache_dir: str) -> None:
+    """Cold / warm / caching=off compiles all match the pinned sha."""
+    expected = BENCHMARK_SHAS[name]
+    options = CompilerOptions(cache_dir=cache_dir)
+    reset_caches()
+    t0 = time.perf_counter()
+    cold = compile_program(source, options)
+    cold_s = time.perf_counter() - t0
+    sha = hashlib.sha256(cold.source.encode()).hexdigest()
+    if sha != expected:
+        raise AssertionError(
+            f"{name}: cold artifact sha {sha[:12]}… != pinned "
+            f"{expected[:12]}… — an optimization changed the emitted bytes"
+        )
+    warm = compile_program(source, options)
+    if not warm.cache_hit or warm.source != cold.source:
+        raise AssertionError(f"{name}: warm artifact differs from cold")
+    t0 = time.perf_counter()
+    uncached = compile_program(source, CompilerOptions(caching="off"))
+    off_s = time.perf_counter() - t0
+    if uncached.source != cold.source:
+        raise AssertionError(
+            f"{name}: caching=off emitted a different program"
+        )
+    print(
+        f"ok benchmark {name}: sha pinned, cold {cold_s:.2f}s, "
+        f"caching=off {off_s:.2f}s byte-identical"
+    )
 
 
 def check(name: str, source: str, cache_dir: str) -> None:
@@ -213,6 +305,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cache-dir", default=None,
                         help="shared cache directory (default: a tmp dir)")
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the six-benchmark identity suite "
+                             "(several minutes of full compiles)")
     args = parser.parse_args(argv)
     cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-cc-")
     print(f"cache dir: {cache_dir}")
@@ -223,6 +318,14 @@ def main(argv=None) -> int:
         except AssertionError as exc:
             print(f"FAIL {exc}", file=sys.stderr)
             failures += 1
+    if not args.quick:
+        bench_cache = tempfile.mkdtemp(prefix="repro-bench-")
+        for name, source in benchmark_sources().items():
+            try:
+                check_benchmark(name, source, bench_cache)
+            except AssertionError as exc:
+                print(f"FAIL {exc}", file=sys.stderr)
+                failures += 1
     try:
         check_service(tempfile.mkdtemp(prefix="repro-svc-"))
     except AssertionError as exc:

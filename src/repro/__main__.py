@@ -59,6 +59,7 @@ def _options_from(args) -> "CompilerOptions":
         compute=args.compute,
         caching=args.caching,
         cache_dir=args.cache_dir,
+        profile_sets=getattr(args, "profile_sets", False),
     )
 
 
@@ -86,6 +87,10 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
                         default=os.environ.get("REPRO_CACHE_DIR"),
                         help="persistent compile-cache directory (default: "
                              "$REPRO_CACHE_DIR if set, else disabled)")
+    parser.add_argument("--profile-sets", action="store_true",
+                        help="profile the integer-set engine during the "
+                             "compile: per-op counters, timings and size "
+                             "histograms, printed after the normal output")
 
 
 def cmd_compile(args) -> int:
@@ -102,6 +107,13 @@ def cmd_compile(args) -> int:
         print(compiled.phases.format_table(title))
     else:
         print(compiled.listing())
+    if args.profile_sets and not args.phases:
+        # --phases already appends the set-engine profile via format_table.
+        for line in compiled.phases.format_set_stats():
+            print(line)
+        if not compiled.phases.set_stats:
+            print("(set-engine profile empty: artifact served from the "
+                  "compile cache)")
     return 0
 
 
@@ -204,6 +216,12 @@ def cmd_run(args) -> int:
               f"({100.0 * hits / max(lookups, 1):.1f}%)")
     for name in sorted(outcome.results[0].scalars):
         print(f"scalar {name} = {outcome.results[0].scalars[name]}")
+    if args.profile_sets:
+        for line in compiled.phases.format_set_stats():
+            print(line)
+        if not compiled.phases.set_stats:
+            print("(set-engine profile empty: artifact served from the "
+                  "compile cache)")
     return 0
 
 

@@ -47,7 +47,7 @@ _ARTIFACT_PREFIX = "cc-"
 _ARTIFACT_SUFFIX = ".pkl"
 
 #: Option fields that do not affect the compiled artifact.
-_NON_SEMANTIC_OPTIONS = frozenset({"caching", "cache_dir"})
+_NON_SEMANTIC_OPTIONS = frozenset({"caching", "cache_dir", "profile_sets"})
 
 #: Counters for the persistent layer (reported next to the memo caches).
 _COUNTS = caches.register("persist.compile", maxsize=16)

@@ -129,6 +129,9 @@ def emit_conjunct_guard(
         base = constraint.expr.substitute(wildcard, 0)
         if constraint.coeff(wildcard) > 0:
             base = -base
+        # Only the residue class matters; canonicalize so emitted guards
+        # are independent of the solver's representative.
+        base = base.reduced_mod(modulus)
         terms.append(f"{emit_linexpr(base, rename)} % {modulus} == 0")
     if not terms:
         return "True"

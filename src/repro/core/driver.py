@@ -172,6 +172,27 @@ def _compile_program_impl(
     source: Union[str, Program],
     options: CompilerOptions,
 ) -> CompiledProgram:
+    if options.profile_sets:
+        from ..isets.profile import SetOpProfiler, active_profiler, profiled
+
+        profiler = SetOpProfiler()
+        with profiled(profiler):
+            compiled = _compile_unprofiled(source, options)
+        snapshot = profiler.snapshot()
+        compiled.phases.set_stats = snapshot
+        outer = active_profiler()
+        if outer is not None:
+            # Nested under an aggregating profiler (service /stats, bench
+            # harnesses): contribute this compile's counters upward too.
+            outer.merge_snapshot(snapshot)
+        return compiled
+    return _compile_unprofiled(source, options)
+
+
+def _compile_unprofiled(
+    source: Union[str, Program],
+    options: CompilerOptions,
+) -> CompiledProgram:
     from ..cache.manager import caches
 
     counters_before = caches.counters()

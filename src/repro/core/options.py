@@ -49,6 +49,12 @@ class CompilerOptions:
     #: persistence (the CLI defaults this from ``$REPRO_CACHE_DIR``).
     #: Not part of the artifact fingerprint.
     cache_dir: Optional[str] = None
+    #: attach a per-compile integer-set operation profiler: op counters,
+    #: time and size histograms for intersect/subtract/then/project_out/
+    #: normalize/redundancy/emptiness, surfaced through ``PhaseTimer``
+    #: (``set_stats``) and the ``--profile-sets`` CLI flag.  Observability
+    #: only — never changes compile results; not part of the fingerprint.
+    profile_sets: bool = False
 
     def with_(self, **changes) -> "CompilerOptions":
         return replace(self, **changes)

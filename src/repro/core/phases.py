@@ -28,6 +28,11 @@ class PhaseTimer:
     #: timer travels through the persistent compile cache into another
     #: process (where ``wall_start`` would be from a different clock).
     wall_total: float = 0.0
+    #: integer-set operation profile for this compile (a
+    #: :meth:`repro.isets.profile.SetOpProfiler.snapshot` dict), filled by
+    #: the driver when ``CompilerOptions.profile_sets`` is on; empty
+    #: otherwise.
+    set_stats: Dict = field(default_factory=dict)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -76,7 +81,19 @@ class PhaseTimer:
             f"{'total wall-clock':40s} {self.total_time():10.3f} {100.0:8.1f}"
         )
         lines.extend(self.format_cache_stats())
+        lines.extend(self.format_set_stats())
         return "\n".join(lines)
+
+    def format_set_stats(self) -> List[str]:
+        """Set-engine profile rows (empty unless compiled with
+        ``profile_sets=True``)."""
+        if not self.set_stats:
+            return []
+        from ..isets.profile import SetOpProfiler
+
+        profiler = SetOpProfiler()
+        profiler.merge_snapshot(self.set_stats)
+        return ["", profiler.format_table("set-engine profile")]
 
     def format_cache_stats(self) -> List[str]:
         """Per-cache hit-rate rows for this compile (empty if uncached)."""

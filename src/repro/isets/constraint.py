@@ -32,9 +32,9 @@ class Constraint:
             const = expr.constant
             coeffs = {n: c // content for n, c in expr.terms()}
             if kind == GEQ:
-                expr = LinExpr(coeffs, _floor_div(const, content))
+                expr = LinExpr._raw(coeffs, _floor_div(const, content))
             elif const % content == 0:
-                expr = LinExpr(coeffs, const // content)
+                expr = LinExpr._raw(coeffs, const // content)
             # else: keep as-is; an equality with indivisible constant is
             # unsatisfiable and detected by is_false / the equality solver.
         if kind == EQ and not expr.is_constant():
@@ -44,7 +44,17 @@ class Constraint:
                 expr = -expr
         self.expr = expr
         self.kind = kind
-        self._hash = hash((expr, kind))
+        self._hash = None
+
+    # The cached hash is seeded per process (string hashing); keep it out of
+    # pickled artifacts so cross-process loads rehash locally.
+
+    def __getstate__(self):
+        return (self.expr, self.kind)
+
+    def __setstate__(self, state):
+        self.expr, self.kind = state
+        self._hash = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -137,7 +147,10 @@ class Constraint:
         return self.kind == other.kind and self.expr == other.expr
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = self._hash = hash((self.expr, self.kind))
+        return h
 
     def __str__(self) -> str:
         op = "=" if self.kind == EQ else ">="

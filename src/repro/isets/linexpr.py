@@ -9,12 +9,20 @@ Coefficients are Python ints, so expressions are exact at any magnitude.
 Attempting to multiply two expressions that both contain variables raises
 :class:`~repro.isets.errors.NonAffineError` — the decidability boundary of
 the whole framework (paper, Section 4).
+
+Construction is the single hottest code path of the compiler (tens of
+millions of instances per cold compile), so the internals are tuned: the
+public constructor takes a ``dict`` fast path (the ``typing.Mapping``
+instance check used to cost more than the arithmetic itself), arithmetic
+goes through the trusted :meth:`_raw` constructor that skips re-cleaning,
+and both the hash and the sorted term tuple are computed lazily and cached.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
+from collections.abc import Mapping as _AbcMapping
+from typing import Dict, Iterable, Mapping, Tuple, Union
 
 from .errors import NonAffineError
 
@@ -28,20 +36,25 @@ def _as_expr(value: ExprLike) -> "LinExpr":
     if isinstance(value, bool):  # bool is an int subclass; reject explicitly
         raise TypeError("cannot coerce bool to LinExpr")
     if isinstance(value, int):
-        return LinExpr({}, value)
+        return LinExpr._raw({}, value)
     if isinstance(value, str):
-        return LinExpr({value: 1}, 0)
+        return LinExpr._raw({value: 1}, 0)
     raise TypeError(f"cannot coerce {value!r} to LinExpr")
 
 
 class LinExpr:
     """An affine integer expression ``sum(coeff_i * var_i) + const``."""
 
-    __slots__ = ("_coeffs", "_const", "_hash")
+    __slots__ = ("_coeffs", "_const", "_hash", "_terms")
 
     def __init__(self, coeffs: Mapping[str, int] = (), const: int = 0):
         cleaned: Dict[str, int] = {}
-        items = coeffs.items() if isinstance(coeffs, Mapping) else coeffs
+        if type(coeffs) is dict:
+            items = coeffs.items()
+        elif isinstance(coeffs, _AbcMapping):
+            items = coeffs.items()
+        else:
+            items = coeffs
         for name, coeff in items:
             if coeff:
                 cleaned[name] = cleaned.get(name, 0) + coeff
@@ -49,19 +62,43 @@ class LinExpr:
                     del cleaned[name]
         self._coeffs: Dict[str, int] = cleaned
         self._const = const
-        self._hash = hash((frozenset(cleaned.items()), const))
+        self._hash = None
+        self._terms = None
+
+    @classmethod
+    def _raw(cls, coeffs: Dict[str, int], const: int) -> "LinExpr":
+        """Trusted constructor: ``coeffs`` must be a zero-free dict the
+        caller relinquishes ownership of."""
+        self = object.__new__(cls)
+        self._coeffs = coeffs
+        self._const = const
+        self._hash = None
+        self._terms = None
+        return self
+
+    # -- pickling ----------------------------------------------------------
+    # The cached hash depends on the per-process string hash seed, so it
+    # must never travel inside pickled compile artifacts.
+
+    def __getstate__(self):
+        return (self._coeffs, self._const)
+
+    def __setstate__(self, state):
+        self._coeffs, self._const = state
+        self._hash = None
+        self._terms = None
 
     # -- constructors ------------------------------------------------------
 
     @staticmethod
     def var(name: str) -> "LinExpr":
         """The expression consisting of a single variable."""
-        return LinExpr({name: 1}, 0)
+        return LinExpr._raw({name: 1}, 0)
 
     @staticmethod
     def const(value: int) -> "LinExpr":
         """A constant expression."""
-        return LinExpr({}, value)
+        return LinExpr._raw({}, value)
 
     # -- accessors ---------------------------------------------------------
 
@@ -75,12 +112,17 @@ class LinExpr:
 
     def variables(self) -> Tuple[str, ...]:
         """Variable names with nonzero coefficient, sorted."""
-        return tuple(sorted(self._coeffs))
+        return tuple(name for name, _coeff in self.terms())
 
-    def terms(self) -> Iterator[Tuple[str, int]]:
-        """Iterate over ``(var, coeff)`` pairs in sorted order."""
-        for name in sorted(self._coeffs):
-            yield name, self._coeffs[name]
+    def terms(self) -> Tuple[Tuple[str, int], ...]:
+        """``(var, coeff)`` pairs in sorted order (cached)."""
+        cached = self._terms
+        if cached is None:
+            coeffs = self._coeffs
+            cached = self._terms = tuple(
+                (name, coeffs[name]) for name in sorted(coeffs)
+            )
+        return cached
 
     def is_constant(self) -> bool:
         return not self._coeffs
@@ -97,14 +139,21 @@ class LinExpr:
     def __add__(self, other: ExprLike) -> "LinExpr":
         other = _as_expr(other)
         coeffs = dict(self._coeffs)
+        get = coeffs.get
         for name, coeff in other._coeffs.items():
-            coeffs[name] = coeffs.get(name, 0) + coeff
-        return LinExpr(coeffs, self._const + other._const)
+            total = get(name, 0) + coeff
+            if total:
+                coeffs[name] = total
+            elif name in coeffs:
+                del coeffs[name]
+        return LinExpr._raw(coeffs, self._const + other._const)
 
     __radd__ = __add__
 
     def __neg__(self) -> "LinExpr":
-        return LinExpr({n: -c for n, c in self._coeffs.items()}, -self._const)
+        return LinExpr._raw(
+            {n: -c for n, c in self._coeffs.items()}, -self._const
+        )
 
     def __sub__(self, other: ExprLike) -> "LinExpr":
         return self + (-_as_expr(other))
@@ -120,21 +169,39 @@ class LinExpr:
                 f"({self}) * ({other})"
             )
         if other.is_constant():
-            factor = other._const
-            return LinExpr(
-                {n: c * factor for n, c in self._coeffs.items()},
-                self._const * factor,
-            )
+            return self.scaled(other._const)
         return other * self
 
     __rmul__ = __mul__
 
     def scaled(self, factor: int) -> "LinExpr":
         """Multiply every coefficient and the constant by ``factor``."""
-        return LinExpr(
+        if factor == 0:
+            return LinExpr._raw({}, 0)
+        return LinExpr._raw(
             {n: c * factor for n, c in self._coeffs.items()},
             self._const * factor,
         )
+
+    def reduced_mod(self, modulus: int) -> "LinExpr":
+        """Canonical representative of this expression modulo ``modulus``:
+        every coefficient and the constant reduced into ``[0, modulus)``.
+
+        Since ``(c mod k)·x ≡ c·x (mod k)``, the result is congruent to
+        ``self`` for every integer assignment — the right normal form for
+        stride-alignment bases and divisibility guards, where only the
+        residue class is meaningful.  Emitting this form makes generated
+        code independent of which congruent representative the solver
+        happened to produce (e.g. of the global fresh-name counter state).
+        """
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        coeffs = {}
+        for name, coeff in self._coeffs.items():
+            residue = coeff % modulus
+            if residue:
+                coeffs[name] = residue
+        return LinExpr._raw(coeffs, self._const % modulus)
 
     def exact_div(self, divisor: int) -> "LinExpr":
         """Divide by ``divisor``; every coefficient must be divisible."""
@@ -147,7 +214,7 @@ class LinExpr:
             coeffs[name] = coeff // divisor
         if self._const % divisor:
             raise ValueError(f"{self} not divisible by {divisor}")
-        return LinExpr(coeffs, self._const // divisor)
+        return LinExpr._raw(coeffs, self._const // divisor)
 
     # -- substitution & renaming -------------------------------------------
 
@@ -156,18 +223,23 @@ class LinExpr:
         coeff = self._coeffs.get(name, 0)
         if coeff == 0:
             return self
-        rest = LinExpr(
-            {n: c for n, c in self._coeffs.items() if n != name}, self._const
-        )
-        return rest + _as_expr(replacement).scaled(coeff)
+        rest = {n: c for n, c in self._coeffs.items() if n != name}
+        return LinExpr._raw(rest, self._const) + _as_expr(
+            replacement
+        ).scaled(coeff)
 
     def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
         """Rename variables according to ``mapping`` (missing names kept)."""
         coeffs: Dict[str, int] = {}
+        get = coeffs.get
         for name, coeff in self._coeffs.items():
             new = mapping.get(name, name)
-            coeffs[new] = coeffs.get(new, 0) + coeff
-        return LinExpr(coeffs, self._const)
+            total = get(new, 0) + coeff
+            if total:
+                coeffs[new] = total
+            elif new in coeffs:
+                del coeffs[new]
+        return LinExpr._raw(coeffs, self._const)
 
     # -- evaluation ---------------------------------------------------------
 
@@ -187,7 +259,7 @@ class LinExpr:
                 const += coeff * env[name]
             else:
                 coeffs[name] = coeff
-        return LinExpr(coeffs, const)
+        return LinExpr._raw(coeffs, const)
 
     # -- comparison / hashing -----------------------------------------------
 
@@ -197,7 +269,11 @@ class LinExpr:
         return self._coeffs == other._coeffs and self._const == other._const
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = self._hash = hash((frozenset(self._coeffs.items()),
+                                   self._const))
+        return h
 
     def __bool__(self) -> bool:
         return bool(self._coeffs) or self._const != 0

@@ -140,19 +140,26 @@ def _detect_strides(
         in_dims = [v for v in core.variables() if v in depth]
         if not in_dims:
             # Parameter-only divisibility, e.g. exists(a : N = 2a).
-            mod_guards.append((core, modulus, 0))
+            mod_guards.append((core.reduced_mod(modulus), modulus, 0))
             continue
         innermost = max(in_dims, key=lambda v: depth[v])
         coeff = core.coeff(innermost)
         if abs(coeff) != 1 or innermost in strides:
             # Second stride on this dim (or a non-unit coefficient): keep
             # it as an exact runtime divisibility guard at the dim's level.
-            mod_guards.append((core, modulus, depth[innermost] + 1))
+            mod_guards.append(
+                (core.reduced_mod(modulus), modulus, depth[innermost] + 1)
+            )
             continue
-        # core = c*innermost + R, c = ±1 → innermost ≡ -R/c (mod modulus)
+        # core = c*innermost + R, c = ±1 → innermost ≡ -R/c (mod modulus).
+        # The base is canonicalized mod the stride: emitted code only uses
+        # its residue class, and the solver-produced representative is not
+        # deterministic across process histories (fresh-name state).
         rest = core.substitute(innermost, 0)
         base = rest.scaled(-1) if coeff == 1 else rest
-        strides[innermost] = _StrideInfo(innermost, modulus, base)
+        strides[innermost] = _StrideInfo(
+            innermost, modulus, base.reduced_mod(modulus)
+        )
     return remaining, strides, mod_guards
 
 

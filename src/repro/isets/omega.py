@@ -20,11 +20,14 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from time import perf_counter as _clock
+
 from ..cache.manager import caches
 from .constraint import EQ, GEQ, Constraint, ceil_div, floor_div
 from .conjunct import Conjunct
 from .errors import InexactOperationError
 from .linexpr import LinExpr
+from .profile import active_profiler, record_event
 from .space import fresh_name
 
 # Safety valve: exact projection of pathological conjuncts can splinter; the
@@ -60,16 +63,31 @@ def normalize(conjunct: Conjunct) -> Optional[Conjunct]:
     Returns ``None`` when the conjunct is unsatisfiable on structural
     grounds.
     """
+    profiler = active_profiler()
+    if profiler is None:
+        if not caches.enabled:
+            return _normalize_uncached(conjunct)
+        return _NORMALIZE.memoize(
+            _exact_key(conjunct), lambda: _normalize_uncached(conjunct)
+        )
+    start = _clock()
     if not caches.enabled:
-        return _normalize_uncached(conjunct)
-    return _NORMALIZE.memoize(
-        _exact_key(conjunct), lambda: _normalize_uncached(conjunct)
+        result = _normalize_uncached(conjunct)
+    else:
+        result = _NORMALIZE.memoize(
+            _exact_key(conjunct), lambda: _normalize_uncached(conjunct)
+        )
+    profiler.record(
+        "normalize",
+        _clock() - start,
+        len(conjunct.constraints),
+        0 if result is None else len(result.constraints),
     )
+    return result
 
 
 def _normalize_uncached(conjunct: Conjunct) -> Optional[Conjunct]:
     seen: Set[Constraint] = set()
-    geqs: Dict[LinExpr, Constraint] = {}
     result: List[Constraint] = []
     for constraint in conjunct.constraints:
         if constraint.is_false():
@@ -78,36 +96,50 @@ def _normalize_uncached(conjunct: Conjunct) -> Optional[Conjunct]:
             continue
         seen.add(constraint)
         result.append(constraint)
-        if constraint.kind == GEQ:
-            geqs[constraint.expr] = constraint
 
-    # Pair e >= 0 with -e - k >= 0 (k >= 0): implies -k >= e >= 0.
-    upgraded: List[Constraint] = []
-    consumed: Set[Constraint] = set()
-    for constraint in result:
-        if constraint.kind != GEQ or constraint in consumed:
+    # Pair e >= 0 with -e - k >= 0 (k >= 0): implies -k >= e >= 0.  The
+    # partner scan is indexed by variable part (the per-pair LinExpr
+    # construction used to be quadratic and dominated normalize).
+    by_part: Dict[tuple, List[int]] = {}
+    geq_info: List[Optional[Tuple[tuple, tuple]]] = []
+    for index, constraint in enumerate(result):
+        if constraint.kind != GEQ:
+            geq_info.append(None)
             continue
-        # Look for a constraint -e + c >= 0 with the same variable part.
-        negated_vars = LinExpr(
-            {n: -c for n, c in constraint.expr.terms()}, 0
-        )
-        for other in result:
-            if other.kind != GEQ or other is constraint or other in consumed:
-                continue
-            if LinExpr(dict(other.expr.terms()), 0) == negated_vars:
-                # constraint: v + c1 >= 0; other: -v + c2 >= 0
-                # -c1 <= v <= c2  (v is the variable part)
-                c1 = constraint.expr.constant
-                c2 = other.expr.constant
-                if -c1 > c2:
-                    return None
-                if -c1 == c2:
-                    consumed.add(constraint)
-                    consumed.add(other)
-                    upgraded.append(Constraint(constraint.expr, EQ))
-                break
+        terms = constraint.expr.terms()
+        negated = tuple((n, -c) for n, c in terms)
+        geq_info.append((terms, negated))
+        by_part.setdefault(terms, []).append(index)
 
-    final = [c for c in result if c not in consumed] + upgraded
+    upgraded: List[Constraint] = []
+    consumed: Set[int] = set()
+    for index, constraint in enumerate(result):
+        info = geq_info[index]
+        if info is None or index in consumed:
+            continue
+        # First (in result order) non-consumed constraint -e + c >= 0 with
+        # the negated variable part — same partner the linear scan found.
+        partner = None
+        for candidate in by_part.get(info[1], ()):
+            if candidate != index and candidate not in consumed:
+                partner = candidate
+                break
+        if partner is None:
+            continue
+        # constraint: v + c1 >= 0; partner: -v + c2 >= 0
+        # -c1 <= v <= c2  (v is the variable part)
+        c1 = constraint.expr.constant
+        c2 = result[partner].expr.constant
+        if -c1 > c2:
+            return None
+        if -c1 == c2:
+            consumed.add(index)
+            consumed.add(partner)
+            upgraded.append(Constraint(constraint.expr, EQ))
+
+    final = [
+        c for i, c in enumerate(result) if i not in consumed
+    ] + upgraded
     # Deduplicate again (upgrades can collide with existing equalities).
     deduped: List[Constraint] = []
     seen = set()
@@ -372,26 +404,105 @@ def project_out(
     conjunct: Conjunct,
     names: Sequence[str],
     approximate: bool = False,
+    order: str = "given",
 ) -> List[Conjunct]:
-    """Project several variables out of a conjunct, exactly; memoized."""
+    """Project several variables out of a conjunct, exactly; memoized.
+
+    ``order="given"`` eliminates in the caller's sequence — deterministic
+    and byte-stable, required on every path whose conjuncts can reach
+    emitted artifacts.  ``order="least_fill"`` re-picks the cheapest
+    variable before each elimination step (minimal Fourier–Motzkin fill);
+    the result denotes the same set but may list different constraints, so
+    it is only for consumers that observe semantics (emptiness, membership,
+    bounds), not representation.
+    """
+    profiler = active_profiler()
+    if profiler is None:
+        if not caches.enabled:
+            return _project_out_uncached(conjunct, names, approximate, order)
+        key = (_exact_key(conjunct), tuple(names), approximate, order)
+        cached = _PROJECTION.memoize(
+            key,
+            lambda: _project_out_uncached(conjunct, names, approximate, order),
+        )
+        return list(cached)
+    start = _clock()
     if not caches.enabled:
-        return _project_out_uncached(conjunct, names, approximate)
-    key = (_exact_key(conjunct), tuple(names), approximate)
-    cached = _PROJECTION.memoize(
-        key, lambda: _project_out_uncached(conjunct, names, approximate)
+        result = _project_out_uncached(conjunct, names, approximate, order)
+    else:
+        key = (_exact_key(conjunct), tuple(names), approximate, order)
+        result = list(_PROJECTION.memoize(
+            key,
+            lambda: _project_out_uncached(conjunct, names, approximate, order),
+        ))
+    profiler.record(
+        "project_out",
+        _clock() - start,
+        len(conjunct.constraints),
+        len(result),
     )
-    return list(cached)
+    return result
+
+
+def _least_fill_choice(work: List[Conjunct], remaining: List[str]) -> str:
+    """Pick the cheapest variable to eliminate next (least-fill ordering).
+
+    Fourier–Motzkin replaces ``lowers × uppers`` bound pairs for the chosen
+    variable with their combinations, so eliminating high-fill variables
+    first multiplies the constraint count at every later step.  Score each
+    candidate by its total fill across the current work list; a variable
+    sitting in a unit-coefficient equality is free (substituted away).
+    Ties resolve to the earliest name in ``remaining`` — deterministic.
+    """
+    if len(remaining) == 1:
+        return remaining[0]
+    best = remaining[0]
+    best_score = None
+    for name in remaining:
+        score = 0
+        for item in work:
+            lowers = uppers = 0
+            free = False
+            for constraint in item.constraints:
+                coeff = constraint.coeff(name)
+                if coeff == 0:
+                    continue
+                if constraint.is_equality:
+                    if abs(coeff) == 1:
+                        free = True
+                        break
+                    lowers += 1
+                    uppers += 1
+                elif coeff > 0:
+                    lowers += 1
+                else:
+                    uppers += 1
+            if not free:
+                score += lowers * uppers
+        if best_score is None or score < best_score:
+            best = name
+            best_score = score
+    return best
 
 
 def _project_out_uncached(
     conjunct: Conjunct,
     names: Sequence[str],
     approximate: bool = False,
+    order: str = "given",
 ) -> List[Conjunct]:
     work = [conjunct.with_wildcards(
         [n for n in names if n not in conjunct.wildcards]
     )]
-    for name in names:
+    remaining = list(names)
+    while remaining:
+        if order == "least_fill":
+            name = _least_fill_choice(work, remaining)
+            if name != remaining[0]:
+                record_event("project_out.least_fill_reorder")
+        else:
+            name = remaining[0]
+        remaining.remove(name)
         next_work: List[Conjunct] = []
         for item in work:
             next_work.extend(eliminate_variable(item, name, approximate))
@@ -426,7 +537,13 @@ def _project_out_uncached(
 # ---------------------------------------------------------------------------
 
 def _choose_elimination_var(conjunct: Conjunct) -> str:
-    """Pick the variable whose elimination is cheapest (exact first)."""
+    """Pick the variable whose elimination is cheapest (exact first).
+
+    This is least-fill ordering on the emptiness path: a unit equality is
+    free, otherwise the ``lowers × uppers`` Fourier–Motzkin fill decides
+    (inexact eliminations are penalized since they splinter).  Emptiness is
+    a boolean, so reordering here can never perturb representations.
+    """
     best_var = None
     best_score = None
     for var in conjunct.variables():
@@ -455,6 +572,127 @@ def _choose_elimination_var(conjunct: Conjunct) -> str:
     return best_var
 
 
+def _quick_feasibility(conjunct: Conjunct) -> Optional[bool]:
+    """Cheap pre-tests before full omega elimination: ``True`` = provably
+    empty, ``False`` = provably nonempty, ``None`` = unknown.
+
+    Combines the GCD test (an equality whose coefficient GCD does not
+    divide its constant has no integer solution — surfaced by
+    ``Constraint.is_false``) with one round of per-variable interval
+    propagation: single-variable constraints pin ``[lo, hi]`` windows, and
+    every remaining constraint is bounded by interval arithmetic.  When all
+    constraints are single-variable and the windows are consistent, the
+    product of the windows contains an integer point, so the conjunct is
+    provably *non*-empty without any elimination.
+
+    Sound in both directions; never changes the result of the full test,
+    only short-circuits it (emptiness is a boolean, so no representation
+    can be perturbed).
+    """
+    bounds: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+    multi: List[Constraint] = []
+    for constraint in conjunct.constraints:
+        if constraint.is_false():
+            record_event("fastpath.gcd_empty")
+            return True
+        if constraint.is_tautology():
+            continue
+        terms = constraint.expr.terms()
+        if len(terms) != 1:
+            multi.append(constraint)
+            continue
+        (var, coeff), = terms
+        const = constraint.expr.constant
+        lo, hi = bounds.get(var, (None, None))
+        if constraint.kind == EQ:
+            # coeff*var + const == 0; construction divides the content out
+            # when it divides const, so a remainder here means infeasible.
+            if const % coeff:
+                record_event("fastpath.gcd_empty")
+                return True
+            value = -const // coeff
+            if (lo is not None and value < lo) or (
+                hi is not None and value > hi
+            ):
+                record_event("fastpath.interval_empty")
+                return True
+            bounds[var] = (value, value)
+        elif coeff > 0:
+            new_lo = ceil_div(-const, coeff)
+            if hi is not None and new_lo > hi:
+                record_event("fastpath.interval_empty")
+                return True
+            bounds[var] = (
+                new_lo if lo is None else max(lo, new_lo), hi
+            )
+        else:
+            new_hi = floor_div(const, -coeff)
+            if lo is not None and new_hi < lo:
+                record_event("fastpath.interval_empty")
+                return True
+            bounds[var] = (
+                lo, new_hi if hi is None else min(hi, new_hi)
+            )
+    for constraint in multi:
+        max_val = min_val = constraint.expr.constant
+        max_unbounded = min_unbounded = False
+        for var, coeff in constraint.expr.terms():
+            lo, hi = bounds.get(var, (None, None))
+            if coeff > 0:
+                if hi is None:
+                    max_unbounded = True
+                else:
+                    max_val += coeff * hi
+                if lo is None:
+                    min_unbounded = True
+                else:
+                    min_val += coeff * lo
+            else:
+                if lo is None:
+                    max_unbounded = True
+                else:
+                    max_val += coeff * lo
+                if hi is None:
+                    min_unbounded = True
+                else:
+                    min_val += coeff * hi
+        if not max_unbounded and max_val < 0:
+            record_event("fastpath.interval_empty")
+            return True
+        if (
+            constraint.kind == EQ
+            and not min_unbounded
+            and min_val > 0
+        ):
+            record_event("fastpath.interval_empty")
+            return True
+    if not multi:
+        # Independent windows, each nonempty: pick any point per variable.
+        record_event("fastpath.interval_nonempty")
+        return False
+    if not any(c.kind == EQ for c in multi):
+        # Witness probe: the lower corner of the interval box satisfies
+        # every single-variable constraint by construction; if it happens
+        # to satisfy the multi-variable inequalities too, the conjunct is
+        # certified nonempty without any elimination.
+        env: Dict[str, int] = {}
+        for constraint in multi:
+            for var, _coeff in constraint.expr.terms():
+                if var in env:
+                    continue
+                lo, hi = bounds.get(var, (None, None))
+                if lo is not None:
+                    env[var] = lo
+                elif hi is not None:
+                    env[var] = hi
+                else:
+                    env[var] = 0
+        if all(c.expr.evaluate(env) >= 0 for c in multi):
+            record_event("fastpath.corner_nonempty")
+            return False
+    return None
+
+
 def is_empty_conjunct(conjunct: Conjunct) -> bool:
     """Exact integer emptiness test (all variables existential); memoized.
 
@@ -463,19 +701,47 @@ def is_empty_conjunct(conjunct: Conjunct) -> bool:
     ``isets.emptiness`` cache — this replaced a module-global dict that
     grew to 200k entries, never evicted, and leaked state across tests.
     """
+    profiler = active_profiler()
+    if profiler is None:
+        if not caches.enabled:
+            return _is_empty_conjunct_uncached(conjunct)
+        return _EMPTINESS.memoize(
+            conjunct.key(), lambda: _is_empty_conjunct_uncached(conjunct)
+        )
+    start = _clock()
     if not caches.enabled:
-        return _is_empty_conjunct_uncached(conjunct)
-    return _EMPTINESS.memoize(
-        conjunct.key(), lambda: _is_empty_conjunct_uncached(conjunct)
+        result = _is_empty_conjunct_uncached(conjunct)
+    else:
+        result = _EMPTINESS.memoize(
+            conjunct.key(), lambda: _is_empty_conjunct_uncached(conjunct)
+        )
+    profiler.record(
+        "is_empty_conjunct",
+        _clock() - start,
+        len(conjunct.constraints),
     )
+    return result
 
 
 def _is_empty_conjunct_uncached(conjunct: Conjunct) -> bool:
     work: List[Conjunct] = [conjunct]
     while work:
-        current = solve_equalities(work.pop(), protected=set())
+        item = work.pop()
+        quick = _quick_feasibility(item)
+        if quick is not None:
+            if quick:
+                continue
+            return False
+        current = solve_equalities(item, protected=set())
         if current is None:
             continue
+        # Equality solving tightens the system; re-run the cheap tests
+        # before committing to a Fourier–Motzkin elimination round.
+        quick = _quick_feasibility(current)
+        if quick is not None:
+            if quick:
+                continue
+            return False
         variables = current.variables()
         if not variables:
             if all(c.holds({}) for c in current.constraints):
@@ -496,17 +762,79 @@ def constraint_redundant(conjunct: Conjunct, constraint: Constraint) -> bool:
     Keyed exactly (the constraint may mention the conjunct's wildcards, so
     alpha-canonical keys would conflate different queries).
     """
+    profiler = active_profiler()
+    if profiler is None:
+        if not caches.enabled:
+            return _constraint_redundant_uncached(conjunct, constraint)
+        key = (_exact_key(conjunct), constraint)
+        return _REDUNDANCY.memoize(
+            key, lambda: _constraint_redundant_uncached(conjunct, constraint)
+        )
+    start = _clock()
     if not caches.enabled:
-        return _constraint_redundant_uncached(conjunct, constraint)
-    key = (_exact_key(conjunct), constraint)
-    return _REDUNDANCY.memoize(
-        key, lambda: _constraint_redundant_uncached(conjunct, constraint)
+        result = _constraint_redundant_uncached(conjunct, constraint)
+    else:
+        key = (_exact_key(conjunct), constraint)
+        result = _REDUNDANCY.memoize(
+            key, lambda: _constraint_redundant_uncached(conjunct, constraint)
+        )
+    profiler.record(
+        "constraint_redundant",
+        _clock() - start,
+        len(conjunct.constraints),
     )
+    return result
+
+
+def _syntactic_redundant(
+    conjunct: Conjunct, constraint: Constraint
+) -> bool:
+    """Implication provable by inspection — no emptiness test needed.
+
+    Covers the cases that dominate gisting in practice: the constraint is a
+    tautology, literally present, a weakening of a present inequality with
+    the same variable part (``e + c >= 0`` follows from ``e + c' >= 0``
+    when ``c >= c'``), or pinned by a present equality over the same
+    variable part (either orientation).  Constraints are content-normalized
+    at construction, so proportional forms already coincide.  Sound
+    one-way: ``True`` here implies the full test returns ``True``.
+    """
+    if constraint.is_tautology():
+        return True
+    expr = constraint.expr
+    terms = expr.terms()
+    const = expr.constant
+    if constraint.kind == EQ:
+        for present in conjunct.constraints:
+            if present.kind == EQ and present.expr == expr:
+                return True
+        return False
+    negated_terms = None
+    for present in conjunct.constraints:
+        present_terms = present.expr.terms()
+        if present.kind == GEQ:
+            if present_terms == terms and present.expr.constant <= const:
+                return True
+        else:
+            # e + c' == 0 pins the variable part to -c'.
+            if present_terms == terms and const >= present.expr.constant:
+                return True
+            if negated_terms is None:
+                negated_terms = tuple((n, -c) for n, c in terms)
+            if (
+                present_terms == negated_terms
+                and present.expr.constant + const >= 0
+            ):
+                return True
+    return False
 
 
 def _constraint_redundant_uncached(
     conjunct: Conjunct, constraint: Constraint
 ) -> bool:
+    if _syntactic_redundant(conjunct, constraint):
+        record_event("fastpath.syntactic_redundant")
+        return True
     return all(
         is_empty_conjunct(conjunct.with_constraints([clause]))
         for clause in constraint.negated()
@@ -516,12 +844,29 @@ def _constraint_redundant_uncached(
 def remove_redundancies(conjunct: Conjunct) -> Optional[Conjunct]:
     """Drop inequalities implied by the remaining constraints; memoized
     (exact key — the result keeps the input's wildcard names)."""
+    profiler = active_profiler()
+    if profiler is None:
+        if not caches.enabled:
+            return _remove_redundancies_uncached(conjunct)
+        return _REDUNDANCY.memoize(
+            (_exact_key(conjunct), None),
+            lambda: _remove_redundancies_uncached(conjunct),
+        )
+    start = _clock()
     if not caches.enabled:
-        return _remove_redundancies_uncached(conjunct)
-    return _REDUNDANCY.memoize(
-        (_exact_key(conjunct), None),
-        lambda: _remove_redundancies_uncached(conjunct),
+        result = _remove_redundancies_uncached(conjunct)
+    else:
+        result = _REDUNDANCY.memoize(
+            (_exact_key(conjunct), None),
+            lambda: _remove_redundancies_uncached(conjunct),
+        )
+    profiler.record(
+        "remove_redundancies",
+        _clock() - start,
+        len(conjunct.constraints),
+        0 if result is None else len(result.constraints),
     )
+    return result
 
 
 def _remove_redundancies_uncached(conjunct: Conjunct) -> Optional[Conjunct]:
@@ -545,6 +890,27 @@ def _remove_redundancies_uncached(conjunct: Conjunct) -> Optional[Conjunct]:
     return normalize(Conjunct(kept, current.wildcards))
 
 
+def incremental_redundancies(
+    base: Conjunct, fresh: Sequence[Constraint]
+) -> List[Constraint]:
+    """Incremental redundancy removal against an established context.
+
+    ``base`` is taken as given (its constraints are *not* re-examined);
+    only the ``fresh`` constraints — the ones touched by the last
+    operation — are tested, in order, each against ``base`` plus the
+    previously kept ones.  This is the workhorse of gisting: after a set
+    operation touches a conjunct, the untouched context never needs
+    re-proving, so redundancy work scales with the delta, not the system.
+    """
+    kept: List[Constraint] = []
+    for constraint in fresh:
+        if not constraint_redundant(
+            base.with_constraints(kept), constraint
+        ):
+            kept.append(constraint)
+    return kept
+
+
 def gist_conjunct(
     conjunct: Conjunct, context: Conjunct
 ) -> Optional[Conjunct]:
@@ -555,11 +921,6 @@ def gist_conjunct(
     simplified = normalize(conjunct)
     if simplified is None:
         return None
-    kept: List[Constraint] = []
     base = context.conjoin(Conjunct((), simplified.wildcards))
-    for constraint in simplified.constraints:
-        if not constraint_redundant(
-            base.with_constraints(kept), constraint
-        ):
-            kept.append(constraint)
+    kept = incremental_redundancies(base, simplified.constraints)
     return Conjunct(kept, simplified.wildcards)

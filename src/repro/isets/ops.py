@@ -23,6 +23,8 @@ from typing import (
     Union,
 )
 
+from time import perf_counter as _clock
+
 from ..cache.intern import intern_conjunct, presburger_key
 from ..cache.manager import caches
 from .constraint import EQ, Constraint
@@ -37,6 +39,7 @@ from .omega import (
     remove_redundancies,
     solve_equalities,
 )
+from .profile import active_profiler, record_event
 from .space import Space, fresh_name
 
 # Memoized set algebra on identical operands (see repro.cache): keys are
@@ -50,6 +53,57 @@ def _memoized_op(op: str, compute, *operands):
         return compute()
     key = (op,) + tuple(presburger_key(v) for v in operands)
     return _SETALG.memoize(key, compute)
+
+
+def _recorded_op(op: str, compute, size_in: int):
+    """Run a set-level operation under the active profiler, if any.
+
+    Sizes are conjunct counts (operand total in, result out)."""
+    profiler = active_profiler()
+    if profiler is None:
+        return compute()
+    start = _clock()
+    result = compute()
+    profiler.record(
+        op, _clock() - start, size_in, len(result.conjuncts)
+    )
+    return result
+
+
+def _prune_subsumed(conjuncts: List[Conjunct]) -> List[Conjunct]:
+    """Drop disjuncts syntactically subsumed by another disjunct.
+
+    If ``b``'s constraints are a subset of ``a``'s (both wildcard-free),
+    then ``a ⊆ b`` as point sets and ``a`` is redundant in the union.
+    Equal constraint sets keep the earliest occurrence.  Applied eagerly on
+    the union/compose/subtract paths so disjunct counts stay minimal while
+    intermediate results accumulate (the irredundant-representation
+    discipline of Ferry/Derrien/Rajopadhye applied to our §5 pipeline).
+    """
+    if len(conjuncts) < 2:
+        return conjuncts
+    constraint_sets = [
+        None if c.wildcards else frozenset(c.constraints)
+        for c in conjuncts
+    ]
+    kept: List[Conjunct] = []
+    for i, conjunct in enumerate(conjuncts):
+        mine = constraint_sets[i]
+        if mine is None:
+            kept.append(conjunct)
+            continue
+        subsumed = False
+        for j, theirs in enumerate(constraint_sets):
+            if i == j or theirs is None:
+                continue
+            if theirs < mine or (theirs == mine and j < i):
+                subsumed = True
+                break
+        if subsumed:
+            record_event("fastpath.subsumed_pruned")
+        else:
+            kept.append(conjunct)
+    return kept
 
 
 class _Presburger:
@@ -121,12 +175,23 @@ class _Presburger:
 
     def union(self, other: "_Presburger") -> "_Presburger":
         other = self._align_other(other)
-        return type(self)(self.space, self.conjuncts + other.conjuncts)
+        return _recorded_op(
+            "set.union",
+            lambda: type(self)(
+                self.space,
+                _prune_subsumed(list(self.conjuncts + other.conjuncts)),
+            ),
+            len(self.conjuncts) + len(other.conjuncts),
+        )
 
     def intersect(self, other: "_Presburger") -> "_Presburger":
         other = self._align_other(other)
-        return _memoized_op(
-            "intersect", lambda: self._intersect_impl(other), self, other
+        return _recorded_op(
+            "set.intersect",
+            lambda: _memoized_op(
+                "intersect", lambda: self._intersect_impl(other), self, other
+            ),
+            len(self.conjuncts) + len(other.conjuncts),
         )
 
     def _intersect_impl(self, other: "_Presburger") -> "_Presburger":
@@ -137,8 +202,12 @@ class _Presburger:
 
     def subtract(self, other: "_Presburger") -> "_Presburger":
         other = self._align_other(other)
-        return _memoized_op(
-            "subtract", lambda: self._subtract_impl(other), self, other
+        return _recorded_op(
+            "set.subtract",
+            lambda: _memoized_op(
+                "subtract", lambda: self._subtract_impl(other), self, other
+            ),
+            len(self.conjuncts) + len(other.conjuncts),
         )
 
     def _subtract_impl(self, other: "_Presburger") -> "_Presburger":
@@ -151,7 +220,9 @@ class _Presburger:
                     merged = normalize(a.conjoin(clause))
                     if merged is not None and not merged.is_trivially_false():
                         pieces.append(merged)
-            result = pieces
+            # Keep the working union minimal: subsumed pieces only multiply
+            # the next round's complement products.
+            result = _prune_subsumed(pieces)
         return type(self)(self.space, result)
 
     def constrain(self, constraints: Iterable[Constraint]) -> "_Presburger":
@@ -183,8 +254,12 @@ class _Presburger:
         With ``full=True`` also removes redundant inequalities within each
         conjunct — more expensive, used before code generation.  Memoized.
         """
-        return _memoized_op(
-            ("simplify", full), lambda: self._simplify_impl(full), self
+        return _recorded_op(
+            "set.simplify",
+            lambda: _memoized_op(
+                ("simplify", full), lambda: self._simplify_impl(full), self
+            ),
+            len(self.conjuncts),
         )
 
     def _simplify_impl(self, full: bool) -> "_Presburger":
@@ -211,25 +286,7 @@ class _Presburger:
                 cleaned.append(piece)
         # Syntactic subsumption: if b's constraints are a subset of a's,
         # then a ⊆ b and a is redundant in the union.
-        kept: List[Conjunct] = []
-        for i, a in enumerate(cleaned):
-            if a.wildcards:
-                kept.append(a)
-                continue
-            a_constraints = set(a.constraints)
-            subsumed = False
-            for j, b in enumerate(cleaned):
-                if i == j or b.wildcards:
-                    continue
-                b_constraints = set(b.constraints)
-                if b_constraints < a_constraints or (
-                    b_constraints == a_constraints and j < i
-                ):
-                    subsumed = True
-                    break
-            if not subsumed:
-                kept.append(a)
-        return type(self)(self.space, kept)
+        return type(self)(self.space, _prune_subsumed(cleaned))
 
     def gist(self, context: "_Presburger") -> "_Presburger":
         """Drop constraints implied by a context known to hold."""
@@ -493,8 +550,12 @@ class IntegerMap(_Presburger):
             raise SpaceMismatchError(
                 f"cannot compose {self.space} with {other.space}"
             )
-        return _memoized_op(
-            "then", lambda: self._then_impl(other), self, other
+        return _recorded_op(
+            "set.then",
+            lambda: _memoized_op(
+                "then", lambda: self._then_impl(other), self, other
+            ),
+            len(self.conjuncts) + len(other.conjuncts),
         )
 
     def _then_impl(self, other: "IntegerMap") -> "IntegerMap":
@@ -519,7 +580,9 @@ class IntegerMap(_Presburger):
                     left.wildcards + right.wildcards,
                 )
                 conjuncts.extend(project_out(merged, mids))
-        return IntegerMap(Space(self.space.in_dims, out_names), conjuncts)
+        return IntegerMap(
+            Space(self.space.in_dims, out_names), _prune_subsumed(conjuncts)
+        )
 
     def compose(self, other: "IntegerMap") -> "IntegerMap":
         """Classical composition: apply ``other`` first, then ``self``."""
@@ -667,7 +730,7 @@ def _gist_keeping_wildcards(b: Conjunct, a: Conjunct) -> Optional[Conjunct]:
     """Drop constraints of ``b`` implied by ``a`` — but never constraints
     involving wildcards, whose defining equalities must stay paired with
     their other occurrences for exact negation."""
-    from .omega import constraint_redundant
+    from .omega import incremental_redundancies
 
     simplified = normalize(b)
     if simplified is None:
@@ -679,14 +742,12 @@ def _gist_keeping_wildcards(b: Conjunct, a: Conjunct) -> Optional[Conjunct]:
         if any(c.coeff(w) for w in wild)
     ]
     base = a.conjoin(Conjunct(tuple(keep), simplified.wildcards))
-    kept_free: List[Constraint] = []
-    for constraint in simplified.constraints:
-        if any(constraint.coeff(w) for w in wild):
-            continue
-        if not constraint_redundant(
-            base.with_constraints(kept_free), constraint
-        ):
-            kept_free.append(constraint)
+    free = [
+        c
+        for c in simplified.constraints
+        if not any(c.coeff(w) for w in wild)
+    ]
+    kept_free = incremental_redundancies(base, free)
     return Conjunct(tuple(keep) + tuple(kept_free), simplified.wildcards)
 
 
@@ -695,6 +756,8 @@ def split_disjoint(subset: "IntegerSet") -> List["IntegerSet"]:
 
     This is the "disjoint disjunctive form" step of MMCodeGen (paper §5).
     """
+    profiler = active_profiler()
+    start = _clock() if profiler is not None else 0.0
     pieces: List[Conjunct] = []
     for conjunct in subset.conjuncts:
         fresh = [conjunct]
@@ -705,4 +768,11 @@ def split_disjoint(subset: "IntegerSet") -> List["IntegerSet"]:
                 for remainder in disjoint_subtract(piece, existing)
             ]
         pieces.extend(p for p in fresh if not is_empty_conjunct(p))
+    if profiler is not None:
+        profiler.record(
+            "split_disjoint",
+            _clock() - start,
+            len(subset.conjuncts),
+            len(pieces),
+        )
     return [IntegerSet(subset.space, [p]) for p in pieces]

@@ -41,6 +41,7 @@ from typing import Dict, Optional, Tuple
 from ..cache.manager import caches
 from ..cache.persist import compute_fingerprint, default_cache_dir
 from ..core.driver import CompiledProgram, compile_program
+from ..isets.profile import SetOpProfiler
 from ..runtime.errors import CommunicationError
 from ..runtime.faults import FaultPlan
 from ..runtime.harness import RetryPolicy, ValidationError, run_compiled
@@ -82,7 +83,22 @@ class CompileService:
         self._mem = caches.register(
             "service.artifacts", maxsize=memory_artifacts
         )
+        # Fleet-wide set-engine profile: every actual compile (cold,
+        # coalesced-leader, bypass) runs with ``profile_sets`` on and folds
+        # its per-compile snapshot in here; ``/stats`` reports the
+        # aggregate.  Hits don't re-count — they did no set work.
+        self._set_profile = SetOpProfiler()
+        self._set_profile_lock = threading.Lock()
         self.started_at = time.time()
+
+    def _compile_profiled(self, source: str, options) -> CompiledProgram:
+        """One actual compile, profiled and folded into the aggregate."""
+        compiled = compile_program(source, options.with_(profile_sets=True))
+        snapshot = compiled.phases.set_stats
+        if snapshot:
+            with self._set_profile_lock:
+                self._set_profile.merge_snapshot(snapshot)
+        return compiled
 
     # -- compile -----------------------------------------------------------
 
@@ -103,7 +119,7 @@ class CompileService:
             # itself still coalesces with an identical off request).
             compiled, coalesced = self.flight.do(
                 ("off", fingerprint),
-                lambda: compile_program(source, options),
+                lambda: self._compile_profiled(source, options),
             )
             kind = "bypass"
         else:
@@ -122,6 +138,10 @@ class CompileService:
         )
         if coalesced:
             meta["coalesced"] = True
+        # The set-engine profile of the compile that built this artifact
+        # (travels with cached artifacts; hits report their cold compile).
+        if compiled.phases.set_stats:
+            meta["set_ops"] = compiled.phases.set_stats
         return compiled, meta
 
     def _cached_compile(self, source, options, fingerprint):
@@ -135,7 +155,7 @@ class CompileService:
             return compiled, "hot"
 
         def compile_and_store():
-            built = compile_program(
+            built = self._compile_profiled(
                 source, options.with_(cache_dir=None)
             )
             self.store.store(fingerprint, built)
@@ -248,8 +268,13 @@ class CompileService:
                 "in_flight": self.flight.in_flight(),
             },
             "memo_caches": memo,
+            "set_ops": self._set_ops_snapshot(),
             **self.metrics.snapshot(),
         }
+
+    def _set_ops_snapshot(self) -> Dict[str, object]:
+        with self._set_profile_lock:
+            return self._set_profile.snapshot()
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):

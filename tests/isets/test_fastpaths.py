@@ -1,0 +1,250 @@
+"""Unit tests for the set-engine performance fast paths.
+
+These target the individual pieces of the compile-time overhaul:
+subsumption pruning between disjuncts, the syntactic redundancy test,
+incremental redundancy removal, the canonical mod-residue reduction, and
+the profiler instrumentation that surfaces all of them.
+"""
+
+import pickle
+
+from repro.isets import Conjunct, Constraint, IntegerSet, LinExpr, Space
+from repro.isets import parse_set
+from repro.isets.omega import (
+    _quick_feasibility,
+    _syntactic_redundant,
+    incremental_redundancies,
+    remove_redundancies,
+)
+from repro.isets.ops import _prune_subsumed
+from repro.isets.profile import SetOpProfiler, profiled
+
+
+def _conjunct(text):
+    (conjunct,) = parse_set(text).conjuncts
+    return conjunct
+
+
+class TestPruneSubsumed:
+    def test_strict_subset_is_pruned(self):
+        # {0 <= i <= 10 and i >= 5} ⊆ {0 <= i <= 10}: drop the tighter one.
+        loose = _conjunct("{[i] : 0 <= i <= 10}")
+        tight = _conjunct("{[i] : 0 <= i <= 10 and i >= 5}")
+        kept = _prune_subsumed([tight, loose])
+        assert kept == [loose]
+
+    def test_equal_sets_keep_earliest(self):
+        a = _conjunct("{[i] : 0 <= i <= 10}")
+        b = _conjunct("{[i] : 0 <= i <= 10}")
+        kept = _prune_subsumed([a, b])
+        assert len(kept) == 1
+        assert kept[0] is a
+
+    def test_incomparable_conjuncts_survive(self):
+        a = _conjunct("{[i] : 0 <= i <= 4}")
+        b = _conjunct("{[i] : 6 <= i <= 10}")
+        assert _prune_subsumed([a, b]) == [a, b]
+
+    def test_wildcard_conjuncts_never_pruned(self):
+        strided = _conjunct("{[i] : 0 <= i <= 10 and exists(a : i = 2a)}")
+        loose = _conjunct("{[i] : 0 <= i <= 10}")
+        kept = _prune_subsumed([strided, loose])
+        assert len(kept) == 2
+
+    def test_union_applies_pruning(self):
+        # Pruning is syntactic: the tighter disjunct literally contains
+        # every constraint of the looser one, plus one more.
+        loose = parse_set("{[i] : 0 <= i <= 10}")
+        tight = parse_set("{[i] : 0 <= i <= 10 and i >= 5}")
+        merged = tight.union(loose)
+        assert len(merged.conjuncts) == 1
+        assert merged == loose
+
+    def test_pruning_preserves_meaning(self):
+        a = parse_set("{[i] : 0 <= i <= 6}")
+        b = parse_set("{[i] : 1 <= i <= 6 and i >= 2}")
+        merged = a.union(b)
+        for v in range(-2, 10):
+            assert merged.contains((v,)) == (0 <= v <= 6)
+
+
+class TestSyntacticRedundant:
+    def test_tautology(self):
+        c = _conjunct("{[i] : 0 <= i <= 5}")
+        assert _syntactic_redundant(c, Constraint.geq(LinExpr.const(3), 0))
+
+    def test_exact_member(self):
+        c = _conjunct("{[i] : 0 <= i <= 5}")
+        assert _syntactic_redundant(c, Constraint.geq(LinExpr.var("i"), 0))
+
+    def test_weaker_inequality(self):
+        c = _conjunct("{[i] : i >= 3}")
+        assert _syntactic_redundant(c, Constraint.geq(LinExpr.var("i"), 0))
+
+    def test_stronger_inequality_not_redundant(self):
+        c = _conjunct("{[i] : i >= 0}")
+        assert not _syntactic_redundant(
+            c, Constraint.geq(LinExpr.var("i") - 3, 0)
+        )
+
+    def test_equality_pins_inequality_both_signs(self):
+        c = _conjunct("{[i] : i = 4}")
+        assert _syntactic_redundant(c, Constraint.geq(LinExpr.var("i"), 0))
+        assert _syntactic_redundant(
+            c, Constraint.geq(-LinExpr.var("i") + 10, 0)
+        )
+
+
+class TestIncrementalRedundancies:
+    def test_fresh_constraints_filtered_against_base(self):
+        base = _conjunct("{[i] : 0 <= i <= 10}")
+        fresh = [
+            Constraint.geq(LinExpr.var("i") + 5, 0),   # implied by i >= 0
+            Constraint.geq(-LinExpr.var("i") + 7, 0),  # genuinely new
+        ]
+        kept = incremental_redundancies(base, fresh)
+        assert kept == [fresh[1]]
+
+    def test_kept_fresh_constraints_see_each_other(self):
+        base = _conjunct("{[i] : 0 <= i <= 10}")
+        fresh = [
+            Constraint.geq(-LinExpr.var("i") + 7, 0),  # i <= 7 (kept)
+            Constraint.geq(-LinExpr.var("i") + 9, 0),  # i <= 9 (implied)
+        ]
+        kept = incremental_redundancies(base, fresh)
+        assert kept == [fresh[0]]
+
+    def test_agrees_with_full_removal(self):
+        base = _conjunct("{[i,j] : 0 <= i <= 8 and 0 <= j <= 8}")
+        fresh = [
+            Constraint.geq(LinExpr.var("i") + LinExpr.var("j"), 0),
+            Constraint.geq(-LinExpr.var("i") + 5, 0),
+        ]
+        kept = incremental_redundancies(base, fresh)
+        full = remove_redundancies(
+            Conjunct(list(base.constraints) + fresh, [])
+        )
+        assert set(kept) <= set(full.constraints)
+        # The genuinely-new bound must survive both paths.
+        assert fresh[1] in kept and fresh[1] in full.constraints
+
+
+class TestReducedMod:
+    def test_residues_in_range(self):
+        expr = LinExpr({"x": 7, "y": -3}, 11)
+        reduced = expr.reduced_mod(4)
+        assert reduced.coeff("x") == 3
+        assert reduced.coeff("y") == 1
+        assert reduced.constant == 3
+
+    def test_congruent_for_every_assignment(self):
+        expr = LinExpr({"x": 5, "y": -2}, 9)
+        reduced = expr.reduced_mod(3)
+        for x in range(-4, 5):
+            for y in range(-4, 5):
+                env = {"x": x, "y": y}
+                assert (
+                    expr.evaluate(env) % 3 == reduced.evaluate(env) % 3
+                )
+
+    def test_multiple_of_modulus_drops_out(self):
+        expr = LinExpr({"x": 4, "y": 1}, 8)
+        reduced = expr.reduced_mod(2)
+        assert reduced.coeff("x") == 0
+        assert reduced.variables() == ("y",)
+
+
+class TestQuickFeasibility:
+    def test_gcd_empty(self):
+        # Built directly: the parser already drops infeasible conjuncts.
+        c = Conjunct([Constraint.eq(LinExpr({"i": 2}, -5), 0)], [])
+        assert _quick_feasibility(c) is True
+
+    def test_interval_empty(self):
+        c = Conjunct(
+            [
+                Constraint.geq(LinExpr({"i": 1}, -5), 0),   # i >= 5
+                Constraint.geq(LinExpr({"i": -1}, 4), 0),   # i <= 4
+            ],
+            [],
+        )
+        assert _quick_feasibility(c) is True
+
+    def test_interval_nonempty(self):
+        c = _conjunct("{[i,j] : 0 <= i <= 5 and 1 <= j <= 3}")
+        assert _quick_feasibility(c) is False
+
+    def test_corner_witness_nonempty(self):
+        # Multi-variable inequality satisfied at the lower corner.
+        c = _conjunct("{[i,j] : 0 <= i <= 5 and 0 <= j <= 5 and i + j <= 9}")
+        assert _quick_feasibility(c) is False
+
+    def test_undecided_returns_none(self):
+        # The corner (0,0) violates i + j >= 1 but the set is nonempty:
+        # the pre-test must pass, not guess.
+        c = _conjunct("{[i,j] : 0 <= i <= 5 and 0 <= j <= 5 and i + j >= 1}")
+        assert _quick_feasibility(c) is None
+
+
+class TestProfiler:
+    def test_ops_recorded_during_set_algebra(self):
+        a = parse_set("{[i] : 0 <= i <= 10}")
+        b = parse_set("{[i] : 5 <= i <= 15}")
+        with profiled() as prof:
+            a.intersect(b).is_empty()
+            a.subtract(b).simplify()
+        snap = prof.snapshot()
+        assert snap["ops"]["set.intersect"]["calls"] == 1
+        assert snap["ops"]["set.subtract"]["calls"] == 1
+        assert "is_empty_conjunct" in snap["ops"]
+
+    def test_no_profiler_attached_records_nothing(self):
+        prof = SetOpProfiler()
+        a = parse_set("{[i] : 0 <= i <= 3}")
+        a.intersect(a)  # not inside `profiled` — must not touch prof
+        assert prof.snapshot() == {"ops": {}, "events": {}}
+
+    def test_merge_snapshot_accumulates(self):
+        one = SetOpProfiler()
+        one.record("set.union", 0.5, 4, 2)
+        one.count("fastpath.gcd_empty", 3)
+        two = SetOpProfiler()
+        two.merge_snapshot(one.snapshot())
+        two.merge_snapshot(one.snapshot())
+        snap = two.snapshot()
+        assert snap["ops"]["set.union"]["calls"] == 2
+        assert snap["events"]["fastpath.gcd_empty"] == 6
+
+    def test_nested_profilers_restore(self):
+        outer = SetOpProfiler()
+        inner = SetOpProfiler()
+        a = parse_set("{[i] : 0 <= i <= 3}")
+        b = parse_set("{[i] : 1 <= i <= 2}")
+        with profiled(outer):
+            with profiled(inner):
+                a.intersect(b)
+            a.subtract(b)
+        assert "set.intersect" in inner.snapshot()["ops"]
+        assert "set.intersect" not in outer.snapshot()["ops"]
+        assert "set.subtract" in outer.snapshot()["ops"]
+
+
+class TestLazyHashPickling:
+    def test_linexpr_roundtrip_drops_cached_hash(self):
+        expr = LinExpr({"x": 2, "y": -1}, 7)
+        hash(expr)  # populate the cache
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone == expr
+        assert hash(clone) == hash(expr)
+
+    def test_constraint_roundtrip(self):
+        constraint = Constraint.geq(LinExpr({"x": 2}, -4), 0)
+        hash(constraint)
+        clone = pickle.loads(pickle.dumps(constraint))
+        assert clone == constraint
+        assert hash(clone) == hash(constraint)
+
+    def test_set_roundtrip_preserves_equality(self):
+        subset = parse_set("{[i,j] : 0 <= i <= 4 and 0 <= j <= i}")
+        clone = pickle.loads(pickle.dumps(subset))
+        assert clone == subset

@@ -1,0 +1,114 @@
+"""Property tests for the set-engine fast paths against brute force.
+
+The performance overhaul added pre-tests and reorderings that must never
+change any *answer*:
+
+* :func:`repro.isets.omega._quick_feasibility` — the GCD / interval /
+  corner-witness emptiness pre-test.  It returns a tri-state; whenever it
+  commits to an answer, that answer must match brute-force enumeration.
+* ``project_out(..., order="least_fill")`` — the fill-minimizing
+  elimination order.  It may produce a different *representation* than
+  the default caller order (which is why it is opt-in, see DESIGN.md),
+  but the set of points must be identical to brute-force projection.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isets import Conjunct, Constraint, LinExpr
+from repro.isets.errors import InexactOperationError
+from repro.isets.omega import (
+    _quick_feasibility,
+    is_empty_conjunct,
+    project_out,
+)
+
+BOX = (-3, 4)
+
+
+def _box_constraints(dims):
+    constraints = []
+    for dim in dims:
+        v = LinExpr.var(dim)
+        constraints.append(Constraint.geq(v, BOX[0]))
+        constraints.append(Constraint.leq(v, BOX[1]))
+    return constraints
+
+
+@st.composite
+def boxed_conjuncts(draw, dims=("x", "y", "z")):
+    """A wildcard-free conjunct whose points all lie in the box."""
+    constraints = list(_box_constraints(dims))
+    for _ in range(draw(st.integers(0, 4))):
+        coeffs = {
+            dim: draw(st.integers(-3, 3)) for dim in dims
+        }
+        expr = LinExpr(coeffs, draw(st.integers(-6, 6)))
+        if draw(st.booleans()):
+            constraints.append(Constraint.geq(expr, 0))
+        else:
+            constraints.append(Constraint.eq(expr, 0))
+    return Conjunct(constraints, [])
+
+
+def _points(conjunct, dims=("x", "y", "z")):
+    lo, hi = BOX
+    found = set()
+    for values in itertools.product(range(lo, hi + 1), repeat=len(dims)):
+        env = dict(zip(dims, values))
+        if all(c.holds(env) for c in conjunct.constraints):
+            found.add(values)
+    return found
+
+
+@settings(max_examples=120, deadline=None)
+@given(boxed_conjuncts())
+def test_quick_feasibility_sound_both_directions(conjunct):
+    verdict = _quick_feasibility(conjunct)
+    if verdict is None:
+        return  # undecided is always allowed
+    assert verdict == (not _points(conjunct)), (
+        f"pre-test said {'empty' if verdict else 'nonempty'} but brute "
+        f"force disagrees for {conjunct}"
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(boxed_conjuncts())
+def test_quick_feasibility_agrees_with_full_test(conjunct):
+    verdict = _quick_feasibility(conjunct)
+    if verdict is not None:
+        assert verdict == is_empty_conjunct(conjunct)
+
+
+@settings(max_examples=80, deadline=None)
+@given(boxed_conjuncts(), st.sampled_from([("y",), ("z",), ("y", "z")]))
+def test_least_fill_projection_matches_brute_force(conjunct, eliminate):
+    kept = tuple(d for d in ("x", "y", "z") if d not in eliminate)
+    expected = {
+        tuple(p[("x", "y", "z").index(d)] for d in kept)
+        for p in _points(conjunct)
+    }
+    for order in ("given", "least_fill"):
+        try:
+            pieces = project_out(conjunct, list(eliminate), order=order)
+        except InexactOperationError:
+            # The exact-elimination iteration cap is a documented engine
+            # limit, orthogonal to the ordering property under test.
+            continue
+        lo, hi = BOX
+        got = set()
+        for values in itertools.product(
+            range(lo, hi + 1), repeat=len(kept)
+        ):
+            env = dict(zip(kept, values))
+            if any(
+                not is_empty_conjunct(piece.partial_evaluate(env))
+                for piece in pieces
+            ):
+                got.add(values)
+        assert got == expected, (
+            f"project_out(order={order!r}) disagrees with brute force "
+            f"eliminating {eliminate} from {conjunct}"
+        )
