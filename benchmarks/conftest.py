@@ -28,6 +28,9 @@ BENCH_SERVICE_PATH = (
 BENCH_COMPILE_PATH = (
     Path(__file__).resolve().parents[1] / "BENCH_compile.json"
 )
+BENCH_TASKGRAPH_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_taskgraph.json"
+)
 
 
 def emit(line: str = "") -> None:
@@ -90,6 +93,16 @@ def record_compile(section: str, payload) -> None:
     _record_json(
         BENCH_COMPILE_PATH,
         "benchmarks (cold compile time vs recorded seed baseline)",
+        section,
+        payload,
+    )
+
+
+def record_taskgraph(section: str, payload) -> None:
+    """Read-modify-write one section of ``BENCH_taskgraph.json``."""
+    _record_json(
+        BENCH_TASKGRAPH_PATH,
+        "benchmarks (taskgraph backend: comm/compute overlap vs threads)",
         section,
         payload,
     )

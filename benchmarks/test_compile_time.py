@@ -92,3 +92,54 @@ def test_cold_compile_speedup_floor():
         f"asserted {JACOBI_FLOOR:.0f}x floor over the seed baseline "
         f"({rows['jacobi']['cold_s']:.1f}s vs {SEED_BASELINE_S['jacobi']}s)"
     )
+
+
+def test_gist_batching_counters():
+    """Record the batched-gisting delta to ``BENCH_compile.json``.
+
+    ``incremental_redundancies`` screens fresh constraints with one
+    per-conjunct syntactic index instead of a per-constraint context
+    rescan, and ``_quick_feasibility`` reuses nonemptiness witnesses
+    across conjuncts of the same coefficient shape.  Both fast paths
+    must demonstrably fire on a real compile — a silent regression to
+    the rescan path would not change any result, only the compile time,
+    so the counters are the regression test.
+    """
+    from repro.isets.profile import profiled
+
+    reset_caches()
+    with profiled() as prof:
+        start = time.perf_counter()
+        compile_program(redblack(), CompilerOptions())
+        elapsed = time.perf_counter() - start
+    snapshot = prof.snapshot()
+    events = snapshot["events"]
+    incr = snapshot["ops"].get("incremental_redundancies", {})
+    payload = {
+        "program": "redblack",
+        "cold_s": round(elapsed, 3),
+        "incremental_redundancies_calls": incr.get("calls", 0),
+        "incremental_redundancies_s": incr.get("seconds", 0.0),
+        "batched_syntactic_hits": events.get(
+            "fastpath.batched_syntactic", 0
+        ),
+        "residual_rescan_hits": events.get(
+            "fastpath.syntactic_redundant", 0
+        ),
+        "witness_cache_hits": events.get("fastpath.witness_cache_hit", 0),
+        "corner_probe_hits": events.get("fastpath.corner_nonempty", 0),
+    }
+    emit(
+        f"gist batching: {payload['batched_syntactic_hits']} batched vs "
+        f"{payload['residual_rescan_hits']} rescan hits, "
+        f"{payload['witness_cache_hits']} witness reuses in "
+        f"{elapsed:.2f}s"
+    )
+    record_compile("set_engine_batching", payload)
+    assert payload["batched_syntactic_hits"] > 1_000, (
+        "the batched syntactic screen stopped firing — gisting has "
+        "fallen back to per-constraint context rescans"
+    )
+    assert payload["witness_cache_hits"] > 0, (
+        "the shape-keyed witness cache never hit on a real compile"
+    )

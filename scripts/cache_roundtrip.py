@@ -29,8 +29,8 @@ caught and is kept fixed.
 Finally it boots the compile service in-process and gates the service
 path: a submitted compile must produce an artifact byte-identical to
 the local one, a resubmit must be a hot hit, and one run per backend
-(threads / mp / inproc-seq) through the service must agree on traffic
-and results.
+(threads / mp / inproc-seq / taskgraph) through the service must agree
+on traffic and results.
 
 Exits non-zero (with a diagnostic) on any violation.
 
@@ -267,7 +267,7 @@ def check_service(cache_dir: str) -> None:
             # One artifact, every backend: the served program must run
             # identically on each execution substrate.
             signatures = {}
-            for backend in ("threads", "mp", "inproc-seq"):
+            for backend in ("threads", "mp", "inproc-seq", "taskgraph"):
                 response = client.run(
                     JACOBI_1D, params={"n": 16}, nprocs=2,
                     backend=backend,
@@ -297,7 +297,7 @@ def check_service(cache_dir: str) -> None:
         thread.join(timeout=10)
     print(
         "ok service: submit byte-identical to local compile, resubmit "
-        "hot, threads/mp/inproc-seq runs agree"
+        "hot, threads/mp/inproc-seq/taskgraph runs agree"
     )
 
 

@@ -131,6 +131,10 @@ def cmd_run(args) -> int:
         runtime_options = runtime_options.with_(
             recv_timeout_s=args.recv_timeout
         )
+    if getattr(args, "comm_latency", None):
+        runtime_options = runtime_options.with_(
+            comm_latency_s=args.comm_latency
+        )
     if args.fault_spec:
         try:
             plan = FaultPlan.parse(args.fault_spec, seed=args.fault_seed)
@@ -204,6 +208,24 @@ def cmd_run(args) -> int:
                 if t.comm_wall_s else ""
             )
             print(f"  rank {t.rank}: {t.wall_s * 1e3:.3f} ms{comm}")
+    sched = outcome.stats.scheduler
+    if sched:
+        print(
+            f"scheduler:  {sched.get('workers')} workers, "
+            f"{sched.get('executed')}/{sched.get('units')} units, "
+            f"{sched.get('steals')} steals, "
+            f"ready depth {sched.get('max_ready_depth')}, "
+            f"critical path {sched.get('critical_path_units')} units / "
+            f"{float(sched.get('critical_path_s', 0.0)) * 1e3:.3f} ms"
+        )
+        plan_shape = sched.get("plan") or {}
+        print(
+            f"  plan: {plan_shape.get('templates', 0)} templates -> "
+            f"{plan_shape.get('sccs', 0)} SCCs "
+            f"({plan_shape.get('cycles_collapsed', 0)} cycles collapsed, "
+            f"{plan_shape.get('loops_unrolled', 0)} loops unrolled, "
+            f"{plan_shape.get('edges', 0)} edges)"
+        )
     cache_stats = compiled.phases.cache_stats
     if compiled.cache_hit:
         print("compile cache: warm (artifact reused)")
@@ -427,8 +449,9 @@ def main(argv=None) -> int:
     p_run.add_argument(
         "--backend", default="threads", metavar="NAME",
         help="execution backend: threads (default), mp "
-             "(one OS process per rank), or inproc-seq (deterministic "
-             "sequential reference)")
+             "(one OS process per rank), inproc-seq (deterministic "
+             "sequential reference), or taskgraph (statement-instance "
+             "DAG with work stealing)")
     p_run.add_argument(
         "--recv-timeout", type=float, default=None, metavar="SECONDS",
         help="blocking-receive timeout before a run is declared "
@@ -451,6 +474,10 @@ def main(argv=None) -> int:
         help="re-launch up to N times per backend on transient failures "
              "(rank crash, timeout, launch error), with deterministic "
              "exponential backoff")
+    p_run.add_argument(
+        "--comm-latency", type=float, default=0.0, metavar="SECONDS",
+        help="simulated per-message link latency honored by the threads "
+             "and taskgraph backends (for measuring comm/compute overlap)")
     _add_option_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 

@@ -45,6 +45,14 @@ _EMPTINESS = caches.register("isets.emptiness", maxsize=200_000)
 _NORMALIZE = caches.register("isets.normalize", maxsize=100_000)
 _REDUNDANCY = caches.register("isets.redundancy", maxsize=100_000)
 _PROJECTION = caches.register("isets.projection", maxsize=50_000)
+# Witness hints for the corner probe in ``_quick_feasibility``: keyed on
+# the *shape* of the multi-variable constraint system (coefficient
+# patterns, constants abstracted away), valued with the last corner that
+# certified nonemptiness.  Entries are hints, not answers — every reuse
+# is re-verified against the actual constraints — so unlike the memo
+# caches above a stale or colliding entry can cost a probe, never
+# soundness.
+_WITNESS = caches.register("isets.witness", maxsize=8_192)
 
 
 def _exact_key(conjunct: Conjunct) -> tuple:
@@ -674,23 +682,60 @@ def _quick_feasibility(conjunct: Conjunct) -> Optional[bool]:
         # Witness probe: the lower corner of the interval box satisfies
         # every single-variable constraint by construction; if it happens
         # to satisfy the multi-variable inequalities too, the conjunct is
-        # certified nonempty without any elimination.
-        env: Dict[str, int] = {}
+        # certified nonempty without any elimination.  Systems emitted by
+        # the same compiler path recur with identical coefficient shapes
+        # and only the constants shifted, so the corner that worked last
+        # time is tried first (``_WITNESS``); a cached corner must pass
+        # both the interval windows and the multi-variable constraints
+        # before it is trusted.
+        index: Dict[str, int] = {}
+        shape = []
         for constraint in multi:
-            for var, _coeff in constraint.expr.terms():
-                if var in env:
-                    continue
-                lo, hi = bounds.get(var, (None, None))
-                if lo is not None:
-                    env[var] = lo
-                elif hi is not None:
-                    env[var] = hi
-                else:
-                    env[var] = 0
+            row = []
+            for var, coeff in constraint.expr.terms():
+                slot = index.get(var)
+                if slot is None:
+                    slot = index[var] = len(index)
+                row.append((slot, coeff))
+            shape.append(tuple(row))
+        shape_key = tuple(shape)
+        order = list(index)  # insertion order matches the slot numbers
+        if caches.enabled:
+            found, cached = _WITNESS.lookup(shape_key)
+            if found:
+                env = dict(zip(order, cached))
+                if all(
+                    _in_window(bounds.get(var, (None, None)), value)
+                    for var, value in env.items()
+                ) and all(c.expr.evaluate(env) >= 0 for c in multi):
+                    record_event("fastpath.witness_cache_hit")
+                    return False
+        env = {}
+        for var in order:
+            lo, hi = bounds.get(var, (None, None))
+            if lo is not None:
+                env[var] = lo
+            elif hi is not None:
+                env[var] = hi
+            else:
+                env[var] = 0
         if all(c.expr.evaluate(env) >= 0 for c in multi):
             record_event("fastpath.corner_nonempty")
+            if caches.enabled:
+                _WITNESS.put(
+                    shape_key, tuple(env[var] for var in order)
+                )
             return False
     return None
+
+
+def _in_window(window: Tuple[Optional[int], Optional[int]],
+               value: int) -> bool:
+    """``value`` lies inside the (possibly half-open) interval window."""
+    lo, hi = window
+    if lo is not None and value < lo:
+        return False
+    return hi is None or value <= hi
 
 
 def is_empty_conjunct(conjunct: Conjunct) -> bool:
@@ -890,6 +935,63 @@ def _remove_redundancies_uncached(conjunct: Conjunct) -> Optional[Conjunct]:
     return normalize(Conjunct(kept, current.wildcards))
 
 
+def _syntactic_index(
+    constraints: Sequence[Constraint],
+) -> Tuple[Dict[Tuple, int], Dict[Tuple, List[int]]]:
+    """Index a conjunct's constraints by variable part for batched
+    syntactic screening: ``geq_min`` maps an inequality's term tuple to
+    its smallest (tightest-implied) constant, ``eq_consts`` maps an
+    equality's term tuple to every pinned constant."""
+    geq_min: Dict[Tuple, int] = {}
+    eq_consts: Dict[Tuple, List[int]] = {}
+    for constraint in constraints:
+        _index_add(geq_min, eq_consts, constraint)
+    return geq_min, eq_consts
+
+
+def _index_add(
+    geq_min: Dict[Tuple, int],
+    eq_consts: Dict[Tuple, List[int]],
+    constraint: Constraint,
+) -> None:
+    terms = constraint.expr.terms()
+    const = constraint.expr.constant
+    if constraint.kind == EQ:
+        eq_consts.setdefault(terms, []).append(const)
+    else:
+        best = geq_min.get(terms)
+        if best is None or const < best:
+            geq_min[terms] = const
+
+
+def _index_implies(
+    geq_min: Dict[Tuple, int],
+    eq_consts: Dict[Tuple, List[int]],
+    constraint: Constraint,
+) -> bool:
+    """Dictionary-lookup form of :func:`_syntactic_redundant` — decides
+    the same implications (tautology, literal presence, weakening of a
+    present inequality, pinned by a present equality in either
+    orientation) without rescanning the context."""
+    if constraint.is_tautology():
+        return True
+    terms = constraint.expr.terms()
+    const = constraint.expr.constant
+    if constraint.kind == EQ:
+        return const in eq_consts.get(terms, ())
+    best = geq_min.get(terms)
+    if best is not None and best <= const:
+        return True
+    pinned = eq_consts.get(terms)
+    if pinned and min(pinned) <= const:
+        return True
+    negated = tuple((name, -coeff) for name, coeff in terms)
+    pinned = eq_consts.get(negated)
+    if pinned and max(pinned) >= -const:
+        return True
+    return False
+
+
 def incremental_redundancies(
     base: Conjunct, fresh: Sequence[Constraint]
 ) -> List[Constraint]:
@@ -901,13 +1003,35 @@ def incremental_redundancies(
     previously kept ones.  This is the workhorse of gisting: after a set
     operation touches a conjunct, the untouched context never needs
     re-proving, so redundancy work scales with the delta, not the system.
+
+    Queries are *batched per conjunct*: one pass over ``base`` builds a
+    syntactic-implication index (variable part → tightest constant), so
+    each fresh constraint is screened with O(1) lookups instead of the
+    per-constraint context rescan that made this the dominant
+    ``--profile-sets`` entry.  The screen decides exactly what
+    :func:`_syntactic_redundant` decides; only survivors pay the
+    memoized emptiness-based implication test.
     """
+    profiler = active_profiler()
+    start = _clock() if profiler is not None else 0.0
+    geq_min, eq_consts = _syntactic_index(base.constraints)
     kept: List[Constraint] = []
     for constraint in fresh:
+        if _index_implies(geq_min, eq_consts, constraint):
+            record_event("fastpath.batched_syntactic")
+            continue
         if not constraint_redundant(
             base.with_constraints(kept), constraint
         ):
             kept.append(constraint)
+            _index_add(geq_min, eq_consts, constraint)
+    if profiler is not None:
+        profiler.record(
+            "incremental_redundancies",
+            _clock() - start,
+            len(fresh),
+            len(kept),
+        )
     return kept
 
 

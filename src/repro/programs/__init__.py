@@ -17,6 +17,22 @@ benchmark set structurally:
   for NAS SP, which we cannot redistribute).
 """
 
-from .sources import erlebacher, gauss, jacobi, redblack, sp_like, tomcatv
+from .sources import (
+    erlebacher,
+    gauss,
+    jacobi,
+    redblack,
+    sp_like,
+    tomcatv,
+    widehalo,
+)
 
-__all__ = ["erlebacher", "gauss", "jacobi", "redblack", "sp_like", "tomcatv"]
+__all__ = [
+    "erlebacher",
+    "gauss",
+    "jacobi",
+    "redblack",
+    "sp_like",
+    "tomcatv",
+    "widehalo",
+]

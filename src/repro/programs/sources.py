@@ -288,3 +288,67 @@ program redblack
   end do
 end
 """
+
+
+def widehalo() -> str:
+    """Wide-halo Jacobi with an independent line-relaxation sweep.
+
+    The 5-point-wide row stencil on ``u`` needs a two-deep halo of ``v``
+    from each (BLOCK, *) neighbor — per iteration, a wide communication
+    event — while the ``w`` line relaxation (its own ``m``-sized
+    template, carried in the local ``j`` dimension) is purely local and
+    touches neither array.  A backend that can overlap communication
+    with independent computation (the ``taskgraph`` scheduler) hides the
+    halo latency behind the ``w`` sweep; program-order backends pay them
+    serially.  Parameters: ``n`` (stencil grid size), ``m`` (relaxation
+    grid size), ``niter`` (time steps).
+    """
+    return """
+program widehalo
+  parameter n, m, niter
+  real u(n,n), v(n,n), w(m,m), w2(m,m)
+  processors p(nprocs)
+  template t(n,n)
+  template s(m,m)
+  align u(i,j) with t(i,j)
+  align v(i,j) with t(i,j)
+  align w(i,j) with s(i,j)
+  align w2(i,j) with s(i,j)
+  distribute t(block, *) onto p
+  distribute s(block, *) onto p
+
+  do i = 1, n
+    do j = 1, n
+      v(i,j) = i * 0.3 + j * 0.7
+      u(i,j) = 0.0
+    end do
+  end do
+  do i = 1, m
+    do j = 1, m
+      w(i,j) = i * 0.1 + j * 0.2
+    end do
+  end do
+  do iter = 1, niter
+    do i = 3, n - 2
+      do j = 1, n
+        u(i,j) = 0.2 * (v(i-2,j) + v(i-1,j) + v(i,j) + v(i+1,j) + v(i+2,j))
+      end do
+    end do
+    do i = 1, m
+      do j = 2, m - 1
+        w2(i,j) = 0.3 * w(i,j) + 0.35 * (w(i,j-1) + w(i,j+1))
+      end do
+    end do
+    do i = 1, m
+      do j = 2, m - 1
+        w(i,j) = w2(i,j)
+      end do
+    end do
+    do i = 3, n - 2
+      do j = 1, n
+        v(i,j) = u(i,j)
+      end do
+    end do
+  end do
+end
+"""

@@ -2,9 +2,10 @@
 
 See :mod:`repro.runtime.backends.base` for the interface and the
 characteristics of each registered backend (``threads``, ``mp``,
-``inproc-seq``).
+``inproc-seq``, ``taskgraph``).
 """
 
+from ..taskgraph.backend import TaskGraphBackend
 from .base import (
     ExecutionBackend,
     LaunchResult,
@@ -23,6 +24,7 @@ from .threads import ThreadsBackend
 register_backend(ThreadsBackend.name, ThreadsBackend)
 register_backend(MultiprocessBackend.name, MultiprocessBackend)
 register_backend(SequentialBackend.name, SequentialBackend)
+register_backend(TaskGraphBackend.name, TaskGraphBackend)
 
 __all__ = [
     "ExecutionBackend",
@@ -34,6 +36,7 @@ __all__ = [
     "RankTiming",
     "SequentialBackend",
     "SequentialMachine",
+    "TaskGraphBackend",
     "ThreadsBackend",
     "backend_names",
     "get_backend",

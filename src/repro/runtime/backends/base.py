@@ -65,6 +65,12 @@ class LaunchSpec:
     #: fallback integer sets backing ``rt.member`` guards (picklable).
     fallback_sets: List[object] = field(default_factory=list)
     options: RuntimeOptions = field(default_factory=RuntimeOptions)
+    #: arrays the integer-set dependence analysis proved free of
+    #: cross-statement same-element accesses (see
+    #: :func:`repro.runtime.harness.independent_arrays`).  The taskgraph
+    #: planner may drop compute-compute ordering edges carried only by
+    #: these names; other backends ignore the field.
+    dep_hints: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -83,6 +89,9 @@ class LaunchResult:
     results: List[RankResult]
     timings: List[RankTiming]
     wall_s: float  # parent-side elapsed time for the whole launch
+    #: scheduler observability (taskgraph backend): steal counts, ready
+    #: depth, critical path, per-SCC seconds...  ``None`` elsewhere.
+    scheduler: Optional[Dict[str, object]] = None
 
     @property
     def max_rank_wall_s(self) -> float:

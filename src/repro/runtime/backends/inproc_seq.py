@@ -32,7 +32,11 @@ class SequentialMachine(Machine):
         nprocs: int,
         recv_timeout_s: Optional[float] = None,
         run_timeout_s: float = 600.0,
+        comm_latency_s: float = 0.0,
     ):
+        # ``comm_latency_s`` is accepted for interface parity but unused:
+        # this machine's transport is overridden below and its cooperative
+        # schedule is already deterministic without simulated delays.
         super().__init__(nprocs, recv_timeout_s, run_timeout_s)
         self._cond = threading.Condition()
         self._mail: Dict[Tuple[int, int], Deque] = {}

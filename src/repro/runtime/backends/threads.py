@@ -61,6 +61,7 @@ class ThreadsBackend(ExecutionBackend):
             spec.nprocs,
             recv_timeout_s=spec.options.recv_timeout_s,
             run_timeout_s=spec.options.run_timeout_s,
+            comm_latency_s=spec.options.comm_latency_s,
         )
         launch_start = time.perf_counter()
         results = machine.run(timed_main, make_runtime)

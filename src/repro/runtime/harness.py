@@ -367,6 +367,90 @@ class RunOutcome:
         return max((t.wall_s for t in self.timings), default=0.0)
 
 
+def independent_arrays(compiled: CompiledProgram) -> Tuple[str, ...]:
+    """Arrays with no cross-statement same-element access pairs.
+
+    This is the integer-set dependence analysis (:mod:`repro.core.depend`)
+    answering a coarser question than communication placement asks: for
+    which arrays is *every* (write, other-access) pair either within one
+    statement instance or provably element-disjoint?  The taskgraph
+    planner may then drop compute-compute ordering edges carried only by
+    such arrays — name-level conflicts that the sets refute (e.g. two
+    nests updating disjoint regions of one array).
+
+    Sound by construction: an array qualifies only if (a) no pair of
+    references from *different* statements can ever touch a common
+    element (:func:`same_element_possible`), and (b) no write can touch
+    the same element as any reference of its *own* statement on a
+    different iteration (:func:`dependence_level` in both directions) —
+    so split pieces of one nest are reorderable too.  Arrays referenced
+    in more than one procedure are conservatively excluded.  The result
+    is memoized on the compiled program; analysis failures degrade to
+    "no hints".
+    """
+    cached = compiled.__dict__.get("_independent_arrays")
+    if cached is not None:
+        return cached
+    from ..core.context import collect_contexts
+    from ..core.depend import dependence_level, same_element_possible
+
+    hints: List[str] = []
+    try:
+        mapping = compiled.mapping
+        refs_by_array: Dict[str, List[Tuple[int, object, object]]] = {}
+        proc_of_array: Dict[str, set] = {}
+        for procedure in compiled.program.procedures:
+            contexts = collect_contexts(compiled.program, procedure)
+            for stmt_idx, ctx in enumerate(contexts):
+                for ref in ctx.references():
+                    refs_by_array.setdefault(ref.array, []).append(
+                        (stmt_idx, ctx, ref)
+                    )
+                    proc_of_array.setdefault(ref.array, set()).add(
+                        procedure.name
+                    )
+        for array, refs in sorted(refs_by_array.items()):
+            if len(proc_of_array[array]) != 1:
+                continue
+            writes = [r for r in refs if r[2].is_write]
+            if not writes:
+                continue  # read-only: never part of a conflict anyway
+            if _array_refs_independent(
+                writes, refs, mapping.layout(array), dependence_level,
+                same_element_possible,
+            ):
+                hints.append(array)
+    except Exception:
+        hints = []
+    result = tuple(hints)
+    compiled.__dict__["_independent_arrays"] = result
+    return result
+
+
+def _array_refs_independent(
+    writes, refs, layout, dependence_level, same_element_possible
+) -> bool:
+    for w_idx, w_ctx, w_ref in writes:
+        for o_idx, o_ctx, o_ref in refs:
+            if o_idx == w_idx:
+                # Same statement: only *cross-iteration* aliasing
+                # matters (same-iteration pairs stay inside one unit).
+                depth = len(w_ctx.loops)
+                if dependence_level(
+                    w_ctx, w_ref, o_ctx, o_ref, layout, depth
+                ) is not None:
+                    return False
+                if dependence_level(
+                    o_ctx, o_ref, w_ctx, w_ref, layout, depth
+                ) is not None:
+                    return False
+            elif same_element_possible(
+                w_ctx, w_ref, o_ctx, o_ref, layout
+            ):
+                return False
+    return True
+
+
 def build_launch_spec(
     compiled: CompiledProgram,
     params: Mapping[str, int],
@@ -454,11 +538,15 @@ def run_compiled(
     backends = [backend_obj] + [resolve_backend(name) for name in chain]
     policy = retry_policy or RetryPolicy(max_attempts=1)
     spec = build_launch_spec(compiled, params, nprocs, options)
+    if any(b.name == "taskgraph" for b in backends):
+        # Pay the set-engine cost only when a planner will consume it.
+        spec.dep_hints = independent_arrays(compiled)
     launch, backend_obj, attempts = _supervised_launch(
         spec, backends, policy
     )
     results = launch.results
     stats = RunStatistics.from_traces([r.trace for r in results])
+    stats.scheduler = launch.scheduler
     replayed = replay([r.trace for r in results], cost_model)
     if serial_work is None:
         serial_work = _serial_work_estimate(results)

@@ -198,6 +198,7 @@ class Machine:
         nprocs: int,
         recv_timeout_s: Optional[float] = None,
         run_timeout_s: float = 600.0,
+        comm_latency_s: float = 0.0,
     ):
         self.nprocs = nprocs
         self.recv_timeout_s = (
@@ -206,6 +207,12 @@ class Machine:
             else default_recv_timeout()
         )
         self.run_timeout_s = run_timeout_s
+        #: simulated per-message link latency (seconds).  Messages become
+        #: visible to the receiver only after this delay, so backends can
+        #: be compared under identical communication cost (see
+        #: ``RuntimeOptions.comm_latency_s``).  Zero — the default — is
+        #: the historical immediate-delivery behavior.
+        self.comm_latency_s = comm_latency_s
         self._channels: Dict[Tuple[int, int], queue.Queue] = {}
         self._channel_lock = threading.Lock()
         self.collective = _Collective(nprocs, self.recv_timeout_s)
@@ -229,13 +236,18 @@ class Machine:
     # -- transport hooks (overridden by the sequential machine) -----------------
 
     def put_message(self, src, dest, tag, indices, data) -> None:
-        self.channel(src, dest).put((tag, indices, data))
+        ready_at = time.monotonic() + self.comm_latency_s
+        self.channel(src, dest).put((ready_at, tag, indices, data))
 
     def get_message(self, src, dest, tag):
         try:
-            return self.channel(src, dest).get(
+            ready_at, got_tag, indices, data = self.channel(src, dest).get(
                 timeout=self.recv_timeout_s
             )
+            delay = ready_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            return got_tag, indices, data
         except queue.Empty:
             raise RecvTimeoutError(
                 f"rank {dest} timed out receiving {tag!r} from {src} "

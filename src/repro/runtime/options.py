@@ -59,6 +59,16 @@ class RuntimeOptions:
     #: primary backend exhausts its retry budget (e.g.
     #: ``("threads", "inproc-seq")``).  Empty disables fallback.
     fallback_backends: Tuple[str, ...] = ()
+    #: simulated per-message link latency in seconds.  Honored by the
+    #: ``threads`` and ``taskgraph`` transports (a message becomes
+    #: visible to its receiver only after the delay), so comm/compute
+    #: overlap can be measured under identical communication cost on
+    #: both backends.  Zero (default) preserves immediate delivery.
+    comm_latency_s: float = 0.0
+    #: worker-pool size for the ``taskgraph`` backend; ``None`` sizes the
+    #: pool automatically (and it is always raised to ``nprocs`` when the
+    #: plan contains units that may block, e.g. collectives).
+    taskgraph_workers: Optional[int] = None
 
     def __post_init__(self):
         if self.recv_timeout_s is None:

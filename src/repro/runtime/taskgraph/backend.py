@@ -1,0 +1,170 @@
+"""The ``taskgraph`` execution backend.
+
+Plans the generated node program into a statement-instance DAG
+(:mod:`repro.runtime.taskgraph.lower`), then executes it on a
+work-stealing pool (:mod:`repro.runtime.taskgraph.sched`) over the
+tag-addressed :class:`~repro.runtime.taskgraph.machine.TaskMachine`
+transport.  Plugs into the backend registry like any other backend — the
+harness, supervisor (retry/fallback), fault injection, and result
+validation all apply unchanged — and reports scheduler observability
+through ``LaunchResult.scheduler``.
+
+Unit code fragments are compiled once per distinct source string and
+cached process-wide: repeated launches of the same artifact (benchmark
+loops, the compile service) share code objects exactly like the
+module-level ``load_node_main`` path does.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from types import CodeType
+from typing import Dict, List
+
+from ..backends.base import (
+    ExecutionBackend,
+    LaunchResult,
+    LaunchSpec,
+    RankTiming,
+)
+from ..faults import arm_runtime
+from ..machine import NodeRuntime, RankResult
+from .lower import build_task_plan
+from .machine import TaskMachine
+from .sched import TaskScheduler
+
+__all__ = ["TaskGraphBackend"]
+
+_CODE_CACHE: Dict[str, CodeType] = {}
+_CODE_LOCK = threading.Lock()
+
+
+def _compiled_fragment(code: str) -> CodeType:
+    with _CODE_LOCK:
+        obj = _CODE_CACHE.get(code)
+        if obj is None:
+            obj = compile(code, "<taskgraph-unit>", "exec")
+            _CODE_CACHE[code] = obj
+        return obj
+
+
+# Plans are pure functions of (source, per-rank envs, dep hints): the
+# scheduler never mutates a plan (indegrees/successors are copied out),
+# so repeated launches of the same artifact — benchmark laps, the
+# compile service, supervisor retries — reuse one planning pass.
+_PLAN_CACHE: Dict[tuple, object] = {}
+_PLAN_LOCK = threading.Lock()
+_PLAN_CACHE_MAX = 64
+
+
+def _cached_plan(spec: LaunchSpec):
+    key = (
+        spec.source,
+        tuple(
+            tuple(sorted(binding.env.items())) for binding in spec.bindings
+        ),
+        tuple(spec.dep_hints or ()),
+    )
+    with _PLAN_LOCK:
+        plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        return plan
+    plan = build_task_plan(
+        spec.source, spec.bindings, dep_hints=spec.dep_hints
+    )
+    with _PLAN_LOCK:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+class TaskGraphBackend(ExecutionBackend):
+    name = "taskgraph"
+
+    def launch(self, spec: LaunchSpec) -> LaunchResult:
+        options = spec.options
+        plan_start = time.perf_counter()
+        plan = _cached_plan(spec)
+        plan_s = time.perf_counter() - plan_start
+
+        machine = TaskMachine(
+            spec.nprocs,
+            recv_timeout_s=options.recv_timeout_s,
+            run_timeout_s=options.run_timeout_s,
+            comm_latency_s=options.comm_latency_s,
+        )
+        members = self.member_fns(spec.fallback_sets)
+
+        # One exec of the module binds helpers and procedures; each rank
+        # then works in its own shallow copy so unit-level assignments
+        # (the segments' "locals") never leak across ranks.
+        module_ns: Dict[str, object] = {}
+        exec(  # noqa: S102 - the generated node program
+            compile(spec.source, "<spmd>", "exec"), module_ns
+        )
+
+        runtimes: List[NodeRuntime] = []
+        namespaces: List[Dict[str, object]] = []
+        for rank in range(spec.nprocs):
+            bindings = spec.bindings[rank]
+            arrays, scalars = self.allocate_state(bindings)
+            runtime = NodeRuntime(
+                machine,
+                rank,
+                dict(bindings.env),
+                arrays,
+                bindings.array_lbounds,
+                scalars,
+            )
+            runtime.member_fns = members
+            runtime.inplace = dict(bindings.inplace)
+            arm_runtime(runtime, options.fault_plan)
+            runtimes.append(runtime)
+            rank_ns = dict(module_ns)
+            rank_ns["rt"] = runtime
+            namespaces.append(rank_ns)
+
+        code_objects = [
+            _compiled_fragment(unit.code) for unit in plan.units
+        ]
+        workers = options.taskgraph_workers or min(
+            spec.nprocs, max(2, os.cpu_count() or 2)
+        )
+        if plan.needs_rank_parallel_pool:
+            # Blocking units (collectives, whole-procedure calls,
+            # ungated receives) may suspend one worker per rank at once.
+            workers = max(workers, spec.nprocs)
+
+        scheduler = TaskScheduler(
+            plan,
+            machine,
+            runtimes,
+            namespaces,
+            code_objects,
+            workers=workers,
+            run_timeout_s=options.run_timeout_s,
+        )
+        launch_start = time.perf_counter()
+        stats = scheduler.run()
+        elapsed = time.perf_counter() - launch_start
+
+        busy = scheduler.rank_busy_seconds()
+        timings = [
+            RankTiming(rank, busy[rank]) for rank in range(spec.nprocs)
+        ]
+        rank_results = [
+            RankResult(rt.rank, rt.arrays, rt.scalars, rt.trace, rt.env)
+            for rt in runtimes
+        ]
+        scheduler_report = stats.as_dict()
+        scheduler_report["plan_build_s"] = round(plan_s, 6)
+        return LaunchResult(
+            self.name,
+            rank_results,
+            timings,
+            elapsed,
+            scheduler=scheduler_report,
+        )

@@ -1,0 +1,124 @@
+"""Picklable task-plan representation.
+
+A :class:`TaskPlan` is everything the work-stealing scheduler needs to
+execute one SPMD launch as a statement-instance DAG: the work units
+(each carrying the Python source of one generated-program segment), the
+dependence edges between them, and the SCC condensation metadata from
+the template graph.  Everything is plain strings / ints / tuples so a
+plan can ship to out-of-process workers exactly like the
+:class:`~repro.runtime.backends.base.LaunchSpec` it rides in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TaskUnit", "TaskPlan"]
+
+
+@dataclass
+class TaskUnit:
+    """One (statement segment, iteration instance, rank) work unit.
+
+    ``code`` is the compiled program fragment this unit executes in its
+    rank's shared namespace; ``kind`` drives scheduling policy:
+
+    ``send``
+        Gathers and enqueues section messages — never blocks.
+    ``recv``
+        Consumes messages; *gated*: made ready only after every
+        same-tag/same-instance send unit completed and the simulated
+        arrival time passed, so it never occupies a worker waiting.
+    ``collective``
+        Blocks at a rendezvous; forces pool size >= nprocs.
+    ``call``
+        Whole-procedure call (plan-less fallback, sp-like routines);
+        conservatively conflicts with everything and may block.
+    ``compute`` / ``admin``
+        Kernel pieces, work-counter flushes, prelude bindings.
+    """
+
+    uid: int
+    rank: int
+    kind: str  # compute | send | recv | collective | call | admin
+    code: str
+    label: str
+    #: communication event tag ('' when not a comm unit).
+    tag: str = ""
+    #: phase-loop iteration instance (0 outside unrolled loops).
+    instance: int = 0
+    #: template statement id this unit instantiates.
+    template: int = -1
+    #: SCC id of the template statement in the condensed template DAG.
+    scc: int = -1
+
+
+@dataclass
+class TaskPlan:
+    """A complete launch plan: units, DAG edges, condensation metadata."""
+
+    nprocs: int
+    units: List[TaskUnit]
+    #: instance-DAG edges (pred uid, succ uid), deduplicated and sorted.
+    edges: List[Tuple[int, int]]
+    #: number of template statements and of SCCs after condensation.
+    template_count: int = 0
+    scc_count: int = 0
+    #: template SCC members (template ids), forward topological order.
+    scc_members: List[Tuple[int, ...]] = field(default_factory=list)
+    #: cycles collapsed (SCCs with more than one member).
+    cycles_collapsed: int = 0
+    #: phase loops unrolled into per-iteration instances.
+    loops_unrolled: int = 0
+    #: True when some unit may block (collectives / call units): the
+    #: scheduler must then run at least ``nprocs`` workers.
+    needs_rank_parallel_pool: bool = False
+    #: why planning degraded (empty when fully segmented).
+    notes: List[str] = field(default_factory=list)
+
+    def topo_hash(self) -> str:
+        """Stable fingerprint of the graph structure (determinism tests).
+
+        Hashes unit identities (rank, kind, label, tag, instance,
+        template, scc) and the sorted edge list — everything except the
+        code bodies, which the artifact sha already pins.
+        """
+        h = hashlib.sha256()
+        for u in self.units:
+            h.update(
+                f"{u.uid}|{u.rank}|{u.kind}|{u.label}|{u.tag}|"
+                f"{u.instance}|{u.template}|{u.scc}\n".encode()
+            )
+        for pred, succ in sorted(self.edges):
+            h.update(f"{pred}->{succ}\n".encode())
+        return h.hexdigest()
+
+    def successors(self) -> List[List[int]]:
+        succs: List[List[int]] = [[] for _ in self.units]
+        for pred, succ in self.edges:
+            succs[pred].append(succ)
+        for row in succs:
+            row.sort()
+        return succs
+
+    def indegrees(self) -> List[int]:
+        indeg = [0] * len(self.units)
+        for _, succ in self.edges:
+            indeg[succ] += 1
+        return indeg
+
+    def stats(self) -> Dict[str, int]:
+        kinds: Dict[str, int] = {}
+        for unit in self.units:
+            kinds[unit.kind] = kinds.get(unit.kind, 0) + 1
+        return {
+            "units": len(self.units),
+            "edges": len(self.edges),
+            "templates": self.template_count,
+            "sccs": self.scc_count,
+            "cycles_collapsed": self.cycles_collapsed,
+            "loops_unrolled": self.loops_unrolled,
+            **{f"units_{kind}": n for kind, n in sorted(kinds.items())},
+        }

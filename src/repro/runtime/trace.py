@@ -131,6 +131,11 @@ class RunStatistics:
     #: compute-plane split of ``total_compute`` (see Trace).
     total_flops_vectorized: float = 0.0
     total_flops_scalar: float = 0.0
+    #: scheduler observability from the ``taskgraph`` backend (steals,
+    #: ready-queue depth, critical path, per-SCC seconds, plan shape);
+    #: ``None`` for backends without a scheduler.  Attached by the
+    #: harness after the launch, not derived from traces.
+    scheduler: Optional[Dict[str, object]] = None
 
     @staticmethod
     def from_traces(traces: List[Trace]) -> "RunStatistics":
@@ -175,4 +180,7 @@ class RunStatistics:
             total_flops_scalar=(
                 self.total_flops_scalar + other.total_flops_scalar
             ),
+            # Scheduler counters describe one launch, not a rank group;
+            # keep whichever side has them.
+            scheduler=self.scheduler or other.scheduler,
         )

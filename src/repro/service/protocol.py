@@ -98,6 +98,9 @@ def outcome_to_wire(outcome) -> Dict[str, object]:
         },
         "cache_delta": outcome.cache_stats,
         "attempts": attempts_to_wire(outcome.attempts),
+        # Scheduler counters (taskgraph backend): steals, ready depth,
+        # critical path, per-SCC seconds; None for other backends.
+        "scheduler": stats.scheduler,
     }
 
 
