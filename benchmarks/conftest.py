@@ -31,6 +31,9 @@ BENCH_COMPILE_PATH = (
 BENCH_TASKGRAPH_PATH = (
     Path(__file__).resolve().parents[1] / "BENCH_taskgraph.json"
 )
+BENCH_SERVICE_POOL_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_service_pool.json"
+)
 
 
 def emit(line: str = "") -> None:
@@ -103,6 +106,24 @@ def record_taskgraph(section: str, payload) -> None:
     _record_json(
         BENCH_TASKGRAPH_PATH,
         "benchmarks (taskgraph backend: comm/compute overlap vs threads)",
+        section,
+        payload,
+    )
+
+
+def percentile_of(samples, p):
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(p / 100.0 * len(ordered) + 0.5)) - 1))
+    return ordered[rank]
+
+
+def record_service_pool(section: str, payload) -> None:
+    """Read-modify-write one section of ``BENCH_service_pool.json``."""
+    _record_json(
+        BENCH_SERVICE_POOL_PATH,
+        "benchmarks (supervised worker pool: throughput, chaos, drain)",
         section,
         payload,
     )

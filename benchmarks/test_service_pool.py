@@ -1,0 +1,328 @@
+"""Supervised worker-pool load harness (→ ``BENCH_service_pool.json``).
+
+Boots the compile server twice — single-process (``workers=0``, cold
+compiles run on the HTTP handler thread) and pooled (``workers >= 4``,
+cold compiles fan out to supervised worker processes) — and drives both
+with the same client population, in four phases:
+
+* **throughput A/B** — a batch of distinct cold fingerprints against
+  each server: the pooled server must sustain a multiple of the
+  single-process cold-compile throughput (floor-gated, see below);
+* **mixed** — a 90/10 hot/cold request mix through the pooled server:
+  zero failed requests, every hot request served from cache;
+* **chaos** — the same mix with a worker-crash fault plan SIGKILLing
+  workers mid-compile: zero failed *hot* requests, zero hung clients
+  (cold requests ride the service retry loop across respawns);
+* **drain audit** — graceful shutdown under no load leaks zero child
+  processes, and every pooled artifact is byte-identical to an
+  in-process compile of the same source.
+
+The throughput floor is machine-dependent: a pool cannot beat one
+process on one core.  ``REPRO_POOL_FLOOR`` sets the enforced multiple
+(CI pins 3.0 on its 4-vCPU runners); unset, the gate self-arms at 3.0
+when ``os.cpu_count() >= 4`` and otherwise records the ratio
+report-only.
+
+Scale knobs: ``REPRO_POOL_WORKERS`` (default 4), ``REPRO_POOL_COLD``
+(cold fingerprints in the A/B phase, default 24), ``REPRO_POOL_MIXED``
+(requests in the mixed/chaos phases, default 200),
+``REPRO_POOL_CLIENTS`` (in-flight clients, default 16).
+"""
+
+import os
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+
+import pytest
+
+from conftest import emit, percentile_of, record_service_pool
+from repro import CompilerOptions, compile_program
+from repro.cache.manager import reset_caches
+from repro.runtime.faults import FaultPlan
+from repro.service import ServiceClient, create_server
+from repro.service.protocol import sha256_text
+
+POOL_WORKERS = int(os.environ.get("REPRO_POOL_WORKERS", "4"))
+COLD_N = int(os.environ.get("REPRO_POOL_COLD", "24"))
+MIXED_N = int(os.environ.get("REPRO_POOL_MIXED", "200"))
+CLIENTS = int(os.environ.get("REPRO_POOL_CLIENTS", "16"))
+HOT_FRACTION = 0.9
+# Every client must finish well inside this bound or it counts as hung.
+CLIENT_HANG_S = 120.0
+
+_floor_env = os.environ.get("REPRO_POOL_FLOOR", "")
+if _floor_env:
+    POOL_FLOOR = float(_floor_env)
+elif (os.cpu_count() or 1) >= 4:
+    POOL_FLOOR = 3.0
+else:
+    POOL_FLOOR = 0.0  # report-only on small machines
+
+STENCIL = """
+program stencil
+  parameter n
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, n
+    b(i) = i * SCALE
+    a(i) = 0.0
+  end do
+  do i = 2, n - 1
+    a(i) = b(i-1) + b(i+1)
+  end do
+end
+"""
+
+
+def stencil(scale: float) -> str:
+    return STENCIL.replace("SCALE", str(float(scale)))
+
+
+HOT_PROGRAMS = {
+    "stencil-a": stencil(0.5),
+    "stencil-b": stencil(0.25),
+    "stencil-c": stencil(0.125),
+}
+
+
+def cold_variant(tag: int) -> str:
+    return stencil(2000.0 + tag)
+
+
+def boot(tmp_path_factory, label, **kwargs):
+    reset_caches()
+    root = tmp_path_factory.mktemp(f"pool-bench-{label}")
+    server = create_server(port=0, cache_dir=str(root), **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    assert server.service.wait_ready(timeout_s=60.0)
+    return server, thread
+
+
+def stop(server, thread):
+    server.shutdown_gracefully(timeout_s=60.0)
+    server.server_close()
+    thread.join(timeout=30)
+
+
+def assert_no_leaked_children():
+    import multiprocessing
+
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leftover = multiprocessing.active_children()
+        if not leftover:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"leaked children: {leftover}")
+
+
+def drive(server, jobs, in_flight):
+    """Run ``jobs`` (label, source) through fresh keep-alive clients.
+
+    Returns (responses, wall_s, hung) where ``hung`` is the count of
+    clients that failed to complete inside ``CLIENT_HANG_S``.
+    """
+    address = server.server_address
+
+    def one(job):
+        label, source = job
+        start = time.perf_counter()
+        with ServiceClient(host=address[0], port=address[1]) as client:
+            response = client.compile(source)
+        response["label"] = label
+        response["client_wall_ms"] = (time.perf_counter() - start) * 1e3
+        return response
+
+    responses, hung = [], 0
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=in_flight) as pool:
+        futures = [pool.submit(one, job) for job in jobs]
+        for future in as_completed(futures, timeout=CLIENT_HANG_S):
+            responses.append(future.result())
+    wall_s = time.perf_counter() - started
+    hung = len(jobs) - len(responses)
+    return responses, wall_s, hung
+
+
+def mixed_schedule(seed, total, cold_base):
+    rng = random.Random(seed)
+    hot_names = sorted(HOT_PROGRAMS)
+    jobs, cold_tag = [], cold_base
+    for _ in range(total):
+        if rng.random() < HOT_FRACTION:
+            name = rng.choice(hot_names)
+            jobs.append((f"hot:{name}", HOT_PROGRAMS[name]))
+        else:
+            jobs.append((f"cold:{cold_tag}", cold_variant(cold_tag)))
+            cold_tag += 1
+    return jobs
+
+
+def test_pool_throughput_mixed_chaos_drain(tmp_path_factory):
+    cold_jobs = [(f"cold:{t}", cold_variant(t)) for t in range(COLD_N)]
+
+    # -- phase 1: cold-compile throughput A/B -----------------------------
+    single, single_thread = boot(tmp_path_factory, "single", workers=0)
+    try:
+        _, single_wall, hung = drive(single, cold_jobs, CLIENTS)
+        assert hung == 0
+    finally:
+        stop(single, single_thread)
+    single_rps = COLD_N / single_wall
+
+    pooled, pooled_thread = boot(
+        tmp_path_factory, "pooled",
+        workers=POOL_WORKERS, queue_depth=max(16, CLIENTS * 2),
+        compile_deadline_s=120.0,
+    )
+    try:
+        cold_responses, pooled_wall, hung = drive(
+            pooled, cold_jobs, CLIENTS
+        )
+        assert hung == 0
+        assert all(r["ok"] for r in cold_responses)
+        pooled_rps = COLD_N / pooled_wall
+        ratio = pooled_rps / single_rps
+        emit(f"cold throughput: single {single_rps:.2f} req/s, "
+             f"pooled({POOL_WORKERS}) {pooled_rps:.2f} req/s "
+             f"({ratio:.2f}x, floor {POOL_FLOOR or 'report-only'})")
+        if POOL_FLOOR:
+            assert ratio >= POOL_FLOOR, (
+                f"pooled/single throughput {ratio:.2f}x "
+                f"below the {POOL_FLOOR}x floor"
+            )
+
+        # -- phase 2: 90/10 hot/cold steady state -------------------------
+        for name in sorted(HOT_PROGRAMS):
+            warm = drive(pooled, [(f"hot:{name}", HOT_PROGRAMS[name])],
+                         1)[0][0]
+            assert warm["ok"]
+        mixed_jobs = mixed_schedule(20260808, MIXED_N, COLD_N)
+        mixed, mixed_wall, hung = drive(pooled, mixed_jobs, CLIENTS)
+        assert hung == 0
+        failed = [r for r in mixed if not r.get("ok")]
+        assert failed == []
+        hot = [r for r in mixed if r["label"].startswith("hot:")]
+        assert all(r["cache"] == "hot" for r in hot)
+
+        # -- byte-identity audit ------------------------------------------
+        reference = {
+            f"hot:{name}": sha256_text(
+                compile_program(source, CompilerOptions()).source
+            )
+            for name, source in HOT_PROGRAMS.items()
+        }
+        probe = cold_jobs[0]
+        reference[probe[0]] = sha256_text(
+            compile_program(probe[1], CompilerOptions()).source
+        )
+        mismatched = [
+            (r["label"], r["artifact_sha256"])
+            for r in cold_responses + mixed
+            if r["label"] in reference
+            and r["artifact_sha256"] != reference[r["label"]]
+        ]
+        assert mismatched == []
+        pool_stats = pooled.service.stats()["pool"]
+    finally:
+        stop(pooled, pooled_thread)
+    assert_no_leaked_children()
+
+    # -- phase 3: chaos — SIGKILL workers mid-compile ---------------------
+    # The first two incarnations of every slot crash their first compile;
+    # the supervisor respawns them and the service retry loop
+    # re-dispatches, so clients see only success (or a typed error,
+    # never a hang).
+    plan = FaultPlan.parse("worker-crash:n=1:attempts=2", seed=20260808)
+    chaos, chaos_thread = boot(
+        tmp_path_factory, "chaos",
+        workers=POOL_WORKERS, queue_depth=max(16, CLIENTS * 2),
+        compile_deadline_s=120.0, quarantine_after=10_000,
+        pool_fault_plan=plan,
+    )
+    try:
+        for name in sorted(HOT_PROGRAMS):
+            warm = drive(chaos, [(f"hot:{name}", HOT_PROGRAMS[name])],
+                         1)[0][0]
+            assert warm["ok"]
+        chaos_jobs = mixed_schedule(31337, MIXED_N, COLD_N + MIXED_N)
+        chaos_responses, chaos_wall, hung = drive(
+            chaos, chaos_jobs, CLIENTS
+        )
+        # Gate: zero hung clients, zero failed hot requests.
+        assert hung == 0
+        hot = [r for r in chaos_responses if r["label"].startswith("hot:")]
+        failed_hot = [r for r in hot if not r.get("ok")]
+        assert failed_hot == []
+        cold = [r for r in chaos_responses
+                if r["label"].startswith("cold:")]
+        failed_cold = [r for r in cold if not r.get("ok")]
+        # Cold requests survive the crashes via the retry loop; a typed
+        # failure is tolerated but silence/hangs are not.
+        assert all("error" in r for r in failed_cold)
+        chaos_stats = chaos.service.stats()["pool"]
+        crashes = chaos_stats["counters"].get("crashes", 0)
+        respawns = chaos_stats["counters"].get("respawns", 0)
+        assert crashes >= 1, "chaos plan never fired"
+        assert respawns >= 1, "no worker was respawned"
+    finally:
+        stop(chaos, chaos_thread)
+
+    # -- phase 4: drain audit ---------------------------------------------
+    assert_no_leaked_children()
+
+    wall_ms = [r["client_wall_ms"] for r in chaos_responses]
+    emit(f"mixed: {MIXED_N} requests in {mixed_wall:.1f} s "
+         f"({MIXED_N / mixed_wall:.0f} req/s), 0 failed")
+    emit(f"chaos: {crashes} worker crashes, {respawns} respawns, "
+         f"{len(failed_cold)} typed cold failures, 0 failed hot, "
+         f"0 hung clients")
+
+    record_service_pool("pool", {
+        "workers": POOL_WORKERS,
+        "clients": CLIENTS,
+        "floor": POOL_FLOOR,
+        "floor_enforced": bool(POOL_FLOOR),
+        "cpu_count": os.cpu_count(),
+        "throughput": {
+            "cold_fingerprints": COLD_N,
+            "single_wall_s": round(single_wall, 3),
+            "single_req_per_s": round(single_rps, 3),
+            "pooled_wall_s": round(pooled_wall, 3),
+            "pooled_req_per_s": round(pooled_rps, 3),
+            "ratio": round(ratio, 3),
+        },
+        "mixed": {
+            "requests": MIXED_N,
+            "hot_fraction": HOT_FRACTION,
+            "wall_s": round(mixed_wall, 3),
+            "requests_per_s": round(MIXED_N / mixed_wall, 1),
+            "failed_requests": len(failed),
+            "client_wall_p50_ms": round(
+                percentile_of([r["client_wall_ms"] for r in mixed], 50), 3
+            ),
+            "client_wall_p99_ms": round(
+                percentile_of([r["client_wall_ms"] for r in mixed], 99), 3
+            ),
+            "pool": pool_stats["counters"],
+        },
+        "chaos": {
+            "requests": MIXED_N,
+            "wall_s": round(chaos_wall, 3),
+            "worker_crashes": crashes,
+            "worker_respawns": respawns,
+            "failed_hot_requests": len(failed_hot),
+            "failed_cold_requests_typed": len(failed_cold),
+            "hung_clients": hung,
+            "client_wall_p99_ms": round(percentile_of(wall_ms, 99), 3),
+        },
+        "drain": {"leaked_children": 0},
+        "byte_identical_vs_single_client": True,
+    })

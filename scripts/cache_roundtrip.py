@@ -301,6 +301,70 @@ def check_service(cache_dir: str) -> None:
     )
 
 
+def check_pooled_service(cache_dir: str) -> None:
+    """The pinned-sha gate, taken through the supervised worker pool.
+
+    A pooled cold compile runs in a forked worker process and travels
+    back over a pipe as a pickle — this asserts that detour changes not
+    one byte: the jacobi benchmark artifact must still match its
+    ``BENCHMARK_SHAS`` pin, and a graceful drain must leak no children.
+    """
+    import multiprocessing
+    import threading
+
+    from repro.service import ServiceClient, create_server
+
+    reset_caches()
+    server = create_server(port=0, cache_dir=cache_dir, nshards=4,
+                           shard_capacity=32, workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        if not server.service.wait_ready(timeout_s=60.0):
+            raise AssertionError("pooled service: workers never came up")
+        host, port = server.server_address
+        with ServiceClient(host=host, port=port) as client:
+            cold = client.compile(jacobi())
+            if not cold.get("ok"):
+                raise AssertionError(
+                    f"pooled service: compile failed: {cold}"
+                )
+            if cold["cache"] != "cold":
+                raise AssertionError(
+                    f"pooled service: expected a cold compile, got "
+                    f"{cold['cache']!r}"
+                )
+            if cold["artifact_sha256"] != BENCHMARK_SHAS["jacobi"]:
+                raise AssertionError(
+                    "pooled service: jacobi artifact sha "
+                    f"{cold['artifact_sha256'][:12]}… != pinned "
+                    f"{BENCHMARK_SHAS['jacobi'][:12]}… — the pool "
+                    "round-trip changed the emitted bytes"
+                )
+            warm = client.compile(jacobi())
+            if warm["cache"] != "hot":
+                raise AssertionError(
+                    f"pooled service: resubmit not hot ({warm['cache']})"
+                )
+            if warm["artifact_sha256"] != cold["artifact_sha256"]:
+                raise AssertionError(
+                    "pooled service: hot artifact differs from cold"
+                )
+    finally:
+        server.shutdown_gracefully(timeout_s=60.0)
+        server.server_close()
+        thread.join(timeout=10)
+    leftover = multiprocessing.active_children()
+    if leftover:
+        raise AssertionError(
+            f"pooled service: leaked worker processes: {leftover}"
+        )
+    print(
+        "ok pooled service: worker-compiled jacobi matches the pinned "
+        "sha, resubmit hot, drained with zero leaked children"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cache-dir", default=None,
@@ -328,6 +392,11 @@ def main(argv=None) -> int:
                 failures += 1
     try:
         check_service(tempfile.mkdtemp(prefix="repro-svc-"))
+    except AssertionError as exc:
+        print(f"FAIL {exc}", file=sys.stderr)
+        failures += 1
+    try:
+        check_pooled_service(tempfile.mkdtemp(prefix="repro-pool-"))
     except AssertionError as exc:
         print(f"FAIL {exc}", file=sys.stderr)
         failures += 1

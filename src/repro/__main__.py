@@ -7,6 +7,8 @@ Usage::
     python -m repro sets '{[i] : 1 <= i <= 20 and exists(a : i = 3a)}'
     python -m repro cache stats|clear [--cache-dir DIR]
     python -m repro serve [--port 8737] [--shards 8] [--cache-dir DIR]
+                          [--workers N] [--queue-depth D]
+                          [--quarantine-after K] [--compile-deadline-s S]
     python -m repro submit prog.hpf [--url http://host:port] [--json]
 
 ``compile`` prints the compilation listing (default), the generated SPMD
@@ -17,9 +19,12 @@ expression and enumerates it (small sets; parameters via --param).
 ``cache`` inspects or clears the persistent compile cache; ``compile``
 and ``run`` consult that cache when ``--cache-dir`` is given (default:
 ``$REPRO_CACHE_DIR`` when set), making recompiles of unchanged programs
-near-free.  ``serve`` starts the long-lived compile server (DESIGN §10)
-and ``submit`` sends a compile+run request to one; ``submit --json``
-emits the machine-readable response for scripts and CI.
+near-free.  ``serve`` starts the long-lived compile server (DESIGN §10);
+``--workers N`` adds the supervised compile worker pool (DESIGN §13:
+parallel cold compiles, crash respawn, deadlines, load shedding,
+poison-pill quarantine, graceful SIGTERM drain).  ``submit`` sends a
+compile+run request to a server; ``submit --json`` emits the
+machine-readable response for scripts and CI.
 """
 
 from __future__ import annotations
@@ -321,8 +326,20 @@ def _wire_options_from(args) -> dict:
 
 
 def cmd_serve(args) -> int:
+    import threading
+
+    from .runtime.faults import FaultPlan
     from .service.server import create_server
 
+    pool_fault_plan = None
+    if args.pool_fault_spec:
+        try:
+            pool_fault_plan = FaultPlan.parse(
+                args.pool_fault_spec, seed=args.pool_fault_seed
+            )
+        except ValueError as exc:
+            print(f"error: --pool-fault-spec: {exc}", file=sys.stderr)
+            return 2
     server = create_server(
         host=args.host,
         port=args.port,
@@ -330,18 +347,41 @@ def cmd_serve(args) -> int:
         nshards=args.shards,
         shard_capacity=args.shard_capacity,
         quiet=not args.verbose,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        quarantine_after=args.quarantine_after,
+        compile_deadline_s=args.compile_deadline_s,
+        pool_fault_plan=pool_fault_plan,
     )
     host, port = server.server_address[:2]
-    store = server.service.store
+    service = server.service
+    store = service.store
     print(f"compile service listening on http://{host}:{port}")
     print(f"artifact store: {store.root} "
           f"({len(store.shards)} shards x {store.shards[0].capacity} "
           f"artifacts)")
+    if service.pool is not None:
+        service.wait_ready(timeout_s=30.0)
+        print(f"compile pool: {service.pool.alive_workers()}/"
+              f"{args.workers} workers up, queue depth "
+              f"{args.queue_depth}, quarantine after "
+              f"{args.quarantine_after} kills")
+
+    # SIGTERM = graceful drain: readiness flips to 503, in-flight work
+    # finishes, workers stop (terminate→join→kill), then the accept
+    # loop exits.  SIGINT (^C) takes the same path via KeyboardInterrupt.
+    def _drain(signum, frame):
+        threading.Thread(
+            target=server.shutdown_gracefully, daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        service.begin_drain()
     finally:
+        service.close()
         server.server_close()
     return 0
 
@@ -514,6 +554,22 @@ def main(argv=None) -> int:
     p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
                          help="artifact-store root (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro-dhpf)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="compile worker processes (0 = compile "
+                              "in-process, no pool)")
+    p_serve.add_argument("--queue-depth", type=int, default=16,
+                         help="bounded dispatch queue size; submits "
+                              "beyond it are shed with HTTP 429")
+    p_serve.add_argument("--quarantine-after", type=int, default=3,
+                         help="quarantine a request fingerprint after "
+                              "it kills this many distinct workers")
+    p_serve.add_argument("--compile-deadline-s", type=float, default=60.0,
+                         help="per-request compile deadline; a worker "
+                              "exceeding it is killed and replaced")
+    p_serve.add_argument("--pool-fault-spec", default=None,
+                         help="chaos: worker-crash/worker-stall fault "
+                              "plan for the pool (testing)")
+    p_serve.add_argument("--pool-fault-seed", type=int, default=0)
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request to stderr")
     p_serve.set_defaults(func=cmd_serve)

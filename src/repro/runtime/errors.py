@@ -103,6 +103,45 @@ class RankDiagnostics:
         return "\n".join(lines)
 
 
+@dataclass
+class WorkerDiagnostics:
+    """What one compile-pool worker was doing when it was lost — picklable.
+
+    The pool analogue of :class:`RankDiagnostics`: ``worker`` is the pool
+    slot index, ``generation`` the global incarnation id of the process
+    occupying it (respawns get fresh generations, which is how the
+    poison-pill quarantine counts *distinct* dead workers), ``phase`` the
+    worker's last known phase (``idle``/``compile``/``send``),
+    ``fingerprint`` the compile request it was serving, and ``rss_kb`` the
+    worker's last observed resident set size.
+    """
+
+    worker: int
+    generation: int = 0
+    pid: Optional[int] = None
+    phase: str = "unknown"
+    fingerprint: str = ""
+    exitcode: Optional[int] = None
+    rss_kb: Optional[int] = None
+    detail: str = ""
+
+    def report(self) -> str:
+        lines = [
+            f"  worker {self.worker} (gen {self.generation}, "
+            f"pid {self.pid}) [phase={self.phase}]"
+        ]
+        if self.exitcode is not None:
+            lines.append(f"    exit: {decode_exitcode(self.exitcode)}")
+        if self.fingerprint:
+            lines.append(f"    request: {self.fingerprint[:16]}…")
+        if self.rss_kb is not None:
+            lines.append(f"    rss: {self.rss_kb} KiB")
+        if self.detail:
+            for row in self.detail.rstrip().splitlines():
+                lines.append(f"    {row}")
+        return "\n".join(lines)
+
+
 class RankCrashError(CommunicationError):
     """A rank raised an exception or its process died."""
 
@@ -129,6 +168,42 @@ class LaunchError(CommunicationError):
 
 class ResultDivergenceError(CommunicationError):
     """Survivor results disagree with a reference run — never retried."""
+
+    transient = False
+
+
+class WorkerCrashError(CommunicationError):
+    """A compile-pool worker process died mid-request (signal/exit).
+
+    Transient: the supervisor respawns the worker and the request may be
+    retried on a fresh one — unless the same fingerprint keeps killing
+    workers, at which point the quarantine converts further submits into
+    :class:`CompileQuarantinedError`.
+    """
+
+    transient = True
+
+
+class WorkerStallError(CommunicationError):
+    """A compile-pool worker exceeded its per-request deadline.
+
+    The supervisor kills and replaces the wedged worker; like a crash,
+    the stall counts against the request fingerprint's quarantine budget
+    (a wedged worker is a destroyed worker).
+    """
+
+    transient = True
+
+
+class CompileQuarantinedError(CommunicationError):
+    """A request fingerprint crashed too many distinct workers.
+
+    The poison-pill circuit breaker: once ``quarantine_after`` distinct
+    worker processes have been lost to one fingerprint, further submits
+    fail fast with this error instead of feeding another worker to the
+    same input.  Not transient — retrying the identical request cannot
+    succeed until the quarantine is cleared (server restart).
+    """
 
     transient = False
 
@@ -169,12 +244,16 @@ def trace_tail(trace, limit: int = 6) -> List[str]:
 
 __all__ = [
     "CommunicationError",
+    "CompileQuarantinedError",
     "LaunchError",
     "RankCrashError",
     "RankDiagnostics",
     "RecvTimeoutError",
     "ResultDivergenceError",
     "RunTimeoutError",
+    "WorkerCrashError",
+    "WorkerDiagnostics",
+    "WorkerStallError",
     "decode_exitcode",
     "is_transient",
     "trace_tail",

@@ -18,15 +18,21 @@ Spec grammar (semicolon-separated faults, colon-separated fields)::
     kind[:rank=R][:op=OP][:n=N][:ms=MS][:attempts=A]
 
     kinds: drop | delay | dup | crash | kill | shm-alloc | jitter
-    ops:   send | recv | collective | step | any
+         | worker-crash | worker-stall
+    ops:   send | recv | collective | step | compile | any
 
 ``drop``/``dup`` apply to sends; ``crash``/``kill`` fire at the N-th
 matching op of the targeted rank; ``jitter`` sleeps a seeded random
 amount before *every* matching op; ``shm-alloc`` makes the ``mp``
 backend's launch-time shared-memory allocation fail (other backends
-ignore it).  ``attempts=A`` limits a fault to the first ``A`` supervised
-launch attempts — the standard way to build a *transient* fault that a
-:class:`~repro.runtime.harness.RetryPolicy` recovers from.
+ignore it).  ``worker-crash``/``worker-stall`` target the compile worker
+pool (DESIGN §13): ``rank`` selects a pool slot, ``op`` is implicitly
+``compile`` (one fires per request the worker serves), and the worker
+SIGKILLs itself / sleeps ``ms`` past its deadline at the N-th compile —
+the SPMD backends ignore them.  ``attempts=A`` limits a fault to the
+first ``A`` supervised launch attempts (for the pool: the first ``A``
+worker generations in a slot) — the standard way to build a *transient*
+fault that a :class:`~repro.runtime.harness.RetryPolicy` recovers from.
 """
 
 from __future__ import annotations
@@ -38,10 +44,22 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
-#: ops a fault can target; "any" matches all of them.
-FAULT_OPS = ("send", "recv", "collective", "step", "any")
-#: recognized fault kinds.
-FAULT_KINDS = ("drop", "delay", "dup", "crash", "kill", "shm-alloc", "jitter")
+#: ops a fault can target; "any" matches all of them.  ``compile`` is the
+#: compile-worker-pool op: one "compile" fires per request a pool worker
+#: serves (the SPMD runtime never emits it).
+FAULT_OPS = ("send", "recv", "collective", "step", "compile", "any")
+#: recognized fault kinds.  ``worker-crash``/``worker-stall`` target the
+#: compile worker pool (DESIGN §13): the worker process SIGKILLs itself /
+#: sleeps past its deadline at the N-th matching compile, exercising the
+#: supervisor's respawn, deadline-kill, and quarantine paths.
+FAULT_KINDS = (
+    "drop", "delay", "dup", "crash", "kill", "shm-alloc", "jitter",
+    "worker-crash", "worker-stall",
+)
+
+#: kinds interpreted by the compile worker pool rather than the SPMD
+#: runtime (other backends ignore them, like ``shm-alloc`` elsewhere).
+WORKER_FAULT_KINDS = ("worker-crash", "worker-stall")
 
 #: method name → op category, shared by phase tracking and injection.
 OP_OF_METHOD = {
@@ -88,6 +106,12 @@ class FaultSpec:
             )
         if self.kind in ("drop", "dup") and self.op not in ("send", "any"):
             raise ValueError(f"{self.kind} faults only apply to sends")
+        if (self.kind in WORKER_FAULT_KINDS
+                and self.op not in ("compile", "any")):
+            raise ValueError(
+                f"{self.kind} faults only apply to compile-pool requests "
+                "(op=compile)"
+            )
         if self.n < 1:
             raise ValueError("fault n is 1-based; n >= 1 required")
 
@@ -170,7 +194,7 @@ class FaultPlan:
         """
         probe = self.injector(rank)
         fired = []
-        for op in ("send", "recv", "collective", "step"):
+        for op in ("send", "recv", "collective", "step", "compile"):
             for index in range(1, nops + 1):
                 for action, delay_s in probe.preview(op):
                     fired.append((op, index, action, delay_s))
@@ -255,6 +279,10 @@ class FaultInjector:
         for fault in self.faults:
             if not fault.matches_op(op):
                 continue
+            if fault.kind in WORKER_FAULT_KINDS and op != "compile":
+                # Pool faults fire only on pool compiles, even under
+                # op=any — an SPMD send must not consume their trigger.
+                continue
             if fault.kind == "jitter":
                 actions.append(
                     (
@@ -265,7 +293,11 @@ class FaultInjector:
             elif fault.kind == "shm-alloc":
                 continue  # launch-time fault; nothing to do per-op
             elif count == fault.n:
-                delay = fault.delay_ms / 1e3 if fault.kind == "delay" else 0.0
+                delay = (
+                    fault.delay_ms / 1e3
+                    if fault.kind in ("delay", "worker-stall")
+                    else 0.0
+                )
                 actions.append((fault.kind, delay))
         return actions
 
@@ -288,5 +320,6 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "OP_OF_METHOD",
+    "WORKER_FAULT_KINDS",
     "arm_runtime",
 ]

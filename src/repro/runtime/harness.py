@@ -78,10 +78,17 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     jitter_frac: float = 0.25
     seed: int = 0
+    #: exponential growth ceiling (pre-jitter).  ``None`` leaves the
+    #: backoff unbounded — fine for a handful of launch retries, wrong
+    #: for open-ended loops like the compile-pool respawn governor,
+    #: which would otherwise sleep for minutes after a crash streak.
+    backoff_cap_s: Optional[float] = None
 
     def backoff_s(self, attempt: int) -> float:
         """Delay before re-launching after global attempt ``attempt``."""
         base = self.backoff_base_s * self.backoff_factor ** attempt
+        if self.backoff_cap_s is not None:
+            base = min(base, self.backoff_cap_s)
         rng = random.Random(f"retrypolicy:{self.seed}:{attempt}")
         return base * (1.0 + self.jitter_frac * rng.random())
 

@@ -1,32 +1,49 @@
-"""Long-lived compile service (see DESIGN.md §10).
+"""Long-lived compile service (see DESIGN.md §10 and §13).
 
 A threaded HTTP server multiplexing concurrent compile+run requests over
 a sharded, cross-process-safe artifact store with single-flight batching
-of identical in-flight compiles:
+of identical in-flight compiles, and (``workers >= 1``) a supervised
+pre-forked worker pool running the actual compiles in parallel:
 
 * :mod:`repro.service.server` — :class:`CompileService` (the
   protocol-agnostic core) and the stdlib HTTP layer (``repro serve``);
+* :mod:`repro.service.pool` — the compile worker pool: bounded dispatch
+  queue, load shedding, pipe protocol, graceful drain;
+* :mod:`repro.service.supervisor` — per-slot supervision: crash
+  detection + respawn backoff, compile deadlines, poison-pill
+  quarantine;
 * :mod:`repro.service.store` — fingerprint-prefix-sharded artifact
   store, lock-striped, per-shard LRU eviction;
-* :mod:`repro.service.singleflight` — in-flight request coalescing;
-* :mod:`repro.service.client` — keep-alive JSON client
-  (``repro submit``, the load harness);
+* :mod:`repro.service.singleflight` — in-flight request coalescing with
+  leader-failure handoff;
+* :mod:`repro.service.client` — keep-alive JSON client with bounded
+  transport retries (``repro submit``, the load harness);
 * :mod:`repro.service.protocol` — every wire shape in one place;
-* :mod:`repro.service.metrics` — counters, queue depth, p50/p99.
+* :mod:`repro.service.metrics` — counters, gauges, queue depth,
+  p50/p99.
 """
 
-from .client import ServiceClient, ServiceError
+from .client import ServiceClient, ServiceError, ServiceOverloadedError
+from .pool import PoolDrainingError, PoolSaturatedError, WorkerPool
 from .server import CompileService, ServiceHTTPServer, create_server
 from .singleflight import SingleFlight
+from .supervisor import Quarantine, RemoteCompileError, WorkerSupervisor
 from .store import ArtifactShard, ShardedArtifactStore
 
 __all__ = [
     "ArtifactShard",
     "CompileService",
+    "PoolDrainingError",
+    "PoolSaturatedError",
+    "Quarantine",
+    "RemoteCompileError",
     "ServiceClient",
     "ServiceError",
     "ServiceHTTPServer",
+    "ServiceOverloadedError",
     "ShardedArtifactStore",
     "SingleFlight",
+    "WorkerPool",
+    "WorkerSupervisor",
     "create_server",
 ]

@@ -5,14 +5,46 @@ issuing many requests (the load harness, ``repro submit``) pays the TCP
 handshake once.  Not thread-safe by design — give each simulated client
 thread its own instance; that is also what makes the load harness an
 honest model of independent clients.
+
+Transient transport failures — connection refused (server restarting),
+connection reset (worker-pool respawn churn), incomplete reads — are
+retried with the same bounded exponential-backoff-plus-deterministic-
+jitter policy the run supervisor uses (:class:`RetryPolicy`), but only
+for *idempotent* requests: every GET, and the POSTs that are pure
+functions of their payload (``/compile``, ``/run`` without faults — the
+caller decides via ``idempotent=``).  The attempt history of the last
+request is kept on ``client.last_attempts`` in the same shape as
+``RunOutcome.attempts``, so the load harness can report client-side
+retries next to server-side ones.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Dict, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence
 from urllib.parse import urlparse
+
+from ..runtime.harness import AttemptRecord, RetryPolicy
+
+#: transport errors worth a reconnect-and-retry: the request may never
+#: have reached the server, or the response was cut off mid-flight.
+TRANSIENT_TRANSPORT_ERRORS = (
+    http.client.HTTPException,  # includes IncompleteRead, BadStatusLine
+    ConnectionError,  # refused, reset, aborted
+    OSError,  # timeouts, EPIPE on a half-closed keep-alive
+)
+
+#: default client transport policy: 3 tries, 50 ms → 100 ms backoff
+#: with deterministic jitter, capped well under a compile's latency.
+CLIENT_RETRY_POLICY = RetryPolicy(
+    max_attempts=3,
+    backoff_base_s=0.05,
+    backoff_factor=2.0,
+    jitter_frac=0.25,
+    backoff_cap_s=1.0,
+)
 
 
 class ServiceError(RuntimeError):
@@ -25,11 +57,22 @@ class ServiceError(RuntimeError):
         self.payload = payload or {}
 
 
+class ServiceOverloadedError(ServiceError):
+    """The server shed this request (HTTP 429); honor ``retry_after_s``."""
+
+    def __init__(self, message: str, status: int = 429,
+                 payload: Optional[dict] = None,
+                 retry_after_s: float = 1.0):
+        super().__init__(message, status=status, payload=payload)
+        self.retry_after_s = retry_after_s
+
+
 class ServiceClient:
     """A persistent-connection JSON client for one compile server."""
 
     def __init__(self, url: str = None, host: str = "127.0.0.1",
-                 port: int = 8737, timeout: float = 600.0):
+                 port: int = 8737, timeout: float = 600.0,
+                 retry_policy: Optional[RetryPolicy] = None):
         if url:
             parsed = urlparse(url)
             if parsed.scheme not in ("http", ""):
@@ -39,6 +82,10 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry_policy = retry_policy or CLIENT_RETRY_POLICY
+        #: attempt history of the most recent request (AttemptRecord
+        #: shape, ``backend="http"``) — mirrors ``RunOutcome.attempts``.
+        self.last_attempts: List[AttemptRecord] = []
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport ---------------------------------------------------------
@@ -62,25 +109,61 @@ class ServiceClient:
         self.close()
 
     def request(self, method: str, path: str,
-                payload: Optional[dict] = None) -> dict:
+                payload: Optional[dict] = None,
+                idempotent: Optional[bool] = None,
+                check: bool = True) -> dict:
+        """One JSON request → decoded JSON response.
+
+        ``idempotent`` defaults to ``method == "GET"``; idempotent
+        requests retry transient transport errors under the client's
+        :class:`RetryPolicy`, non-idempotent ones get the single
+        stale-keep-alive reconnect only.  ``check=False`` returns error
+        payloads (429/5xx) instead of raising — readiness probes want
+        the 503 body, not an exception.
+        """
+        if idempotent is None:
+            idempotent = method.upper() == "GET"
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        # One reconnect attempt: the server may have idled out the
-        # keep-alive connection between two requests.
-        for attempt in (0, 1):
+        policy = self.retry_policy
+        # Non-idempotent requests still get one reconnect: a stale
+        # keep-alive connection fails before any bytes reach the server.
+        max_attempts = policy.max_attempts if idempotent else 2
+        self.last_attempts = []
+        for attempt in range(max_attempts):
             conn = self._connection()
+            start = time.perf_counter()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
-                break
-            except (http.client.HTTPException, ConnectionError, OSError):
+            except TRANSIENT_TRANSPORT_ERRORS as exc:
                 self.close()
-                if attempt:
+                wall = time.perf_counter() - start
+                last = attempt == max_attempts - 1
+                backoff = 0.0 if last else policy.backoff_s(attempt)
+                self.last_attempts.append(AttemptRecord(
+                    attempt=attempt + 1,
+                    backend="http",
+                    outcome=type(exc).__name__,
+                    error=str(exc),
+                    wall_s=wall,
+                    backoff_s=backoff,
+                ))
+                if last:
                     raise
+                time.sleep(backoff)
+                continue
+            self.last_attempts.append(AttemptRecord(
+                attempt=attempt + 1,
+                backend="http",
+                outcome="ok",
+                wall_s=time.perf_counter() - start,
+            ))
+            break
         try:
             data = json.loads(raw)
         except ValueError:
@@ -88,6 +171,15 @@ class ServiceClient:
                 f"{method} {path}: non-JSON response "
                 f"(status {response.status})",
                 status=response.status,
+            )
+        if not check:
+            return data
+        if response.status == 429:
+            retry_after = response.headers.get("Retry-After")
+            raise ServiceOverloadedError(
+                f"{method} {path}: server shedding load",
+                payload=data,
+                retry_after_s=float(retry_after) if retry_after else 1.0,
             )
         if response.status >= 500:
             raise ServiceError(
@@ -100,7 +192,17 @@ class ServiceClient:
     # -- API ---------------------------------------------------------------
 
     def healthz(self) -> dict:
-        return self.request("GET", "/healthz")
+        """Readiness payload; a 503 body is returned, not raised."""
+        return self.request("GET", "/healthz", check=False)
+
+    def livez(self) -> dict:
+        return self.request("GET", "/livez", check=False)
+
+    def ready(self) -> bool:
+        try:
+            return bool(self.healthz().get("ok"))
+        except TRANSIENT_TRANSPORT_ERRORS:
+            return False
 
     def stats(self) -> dict:
         return self.request("GET", "/stats")
@@ -110,9 +212,12 @@ class ServiceClient:
 
     def compile(self, source: str,
                 options: Optional[Dict[str, object]] = None) -> dict:
+        # Compiling is a pure function of (source, options): safe to
+        # retry through connection resets caused by pool churn.
         return self.request(
             "POST", "/compile",
             payload={"source": source, "options": options or {}},
+            idempotent=True,
         )
 
     def run(

@@ -95,6 +95,14 @@ class ServerMetrics:
             name: LatencyRecorder() for name in self.SERIES
         }
         self.queue_depth = Gauge()
+        # Callable gauges: sampled at snapshot time, owned elsewhere
+        # (e.g. the worker pool's dispatch-queue depth).  The callable
+        # returns a JSON-ready value.
+        self._gauges: Dict[str, object] = {}
+
+    def register_gauge(self, name: str, fn) -> None:
+        with self._lock:
+            self._gauges[name] = fn
 
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -112,7 +120,15 @@ class ServerMetrics:
             return dict(sorted(self._counters.items()))
 
     def snapshot(self) -> Dict[str, object]:
-        return {
+        with self._lock:
+            gauges = dict(self._gauges)
+        sampled = {}
+        for name, fn in sorted(gauges.items()):
+            try:
+                sampled[name] = fn()
+            except Exception:  # a dying gauge must not break /stats
+                sampled[name] = None
+        out = {
             "counters": self.counters(),
             "queue_depth": self.queue_depth.snapshot(),
             "latency": {
@@ -121,3 +137,6 @@ class ServerMetrics:
                 if recorder.count
             },
         }
+        if sampled:
+            out["gauges"] = sampled
+        return out

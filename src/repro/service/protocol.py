@@ -105,9 +105,14 @@ def outcome_to_wire(outcome) -> Dict[str, object]:
 
 
 def error_to_wire(exc: BaseException) -> Dict[str, object]:
-    """A typed failure as JSON; mirrors the exception taxonomy."""
+    """A typed failure as JSON; mirrors the exception taxonomy.
+
+    ``wire_type`` (when present) overrides the class name: a compile
+    failure relayed from a pool worker reports the *original* exception
+    type, so pooled and single-process services emit identical errors.
+    """
     payload: Dict[str, object] = {
-        "type": type(exc).__name__,
+        "type": getattr(exc, "wire_type", type(exc).__name__),
         "message": str(exc),
         "transient": (
             is_transient(exc) if isinstance(exc, CommunicationError)
@@ -117,6 +122,9 @@ def error_to_wire(exc: BaseException) -> Dict[str, object]:
     attempts = getattr(exc, "attempts", None)
     if attempts:
         payload["attempts"] = attempts_to_wire(attempts)
+    retry_after = getattr(exc, "retry_after_s", None)
+    if retry_after is not None:
+        payload["retry_after_s"] = retry_after
     return payload
 
 

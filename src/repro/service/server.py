@@ -6,7 +6,10 @@ Architecture (stdlib only)::
         └── CompileService          protocol-agnostic core, also usable
             ├── ShardedArtifactStore    in-process directly (tests, the
             ├── SingleFlight            cache-roundtrip gate)
-            └── ServerMetrics
+            ├── ServerMetrics
+            └── WorkerPool          optional (workers >= 1): actual
+                                    compiles run in supervised worker
+                                    processes (see DESIGN §13)
 
 Request flow for ``POST /run`` (``/compile`` stops after step 3):
 
@@ -42,11 +45,12 @@ from ..cache.manager import caches
 from ..cache.persist import compute_fingerprint, default_cache_dir
 from ..core.driver import CompiledProgram, compile_program
 from ..isets.profile import SetOpProfiler
-from ..runtime.errors import CommunicationError
+from ..runtime.errors import CommunicationError, is_transient
 from ..runtime.faults import FaultPlan
 from ..runtime.harness import RetryPolicy, ValidationError, run_compiled
 from ..runtime.options import RuntimeOptions
 from .metrics import ServerMetrics
+from .pool import PoolDrainingError, PoolSaturatedError, WorkerPool
 from .protocol import (
     BadRequest,
     compile_meta_to_wire,
@@ -70,6 +74,11 @@ class CompileService:
         nshards: int = 8,
         shard_capacity: int = 256,
         memory_artifacts: int = 64,
+        workers: int = 0,
+        queue_depth: int = 16,
+        quarantine_after: int = 3,
+        compile_deadline_s: float = 60.0,
+        pool_fault_plan: Optional[FaultPlan] = None,
     ):
         self.store = ShardedArtifactStore(
             cache_dir or default_cache_dir(),
@@ -78,6 +87,26 @@ class CompileService:
         )
         self.flight = SingleFlight()
         self.metrics = ServerMetrics()
+        # workers=0: compile in-process (the pre-pool behavior, right
+        # for tests and one-shot use).  workers>=1: dispatch each actual
+        # compile to the supervised worker pool.
+        self.pool: Optional[WorkerPool] = None
+        if workers:
+            self.pool = WorkerPool(
+                workers=workers,
+                queue_depth=queue_depth,
+                quarantine_after=quarantine_after,
+                compile_deadline_s=compile_deadline_s,
+                fault_plan=pool_fault_plan,
+            ).start()
+            self.metrics.register_gauge(
+                "pool_queue",
+                lambda: {
+                    "current": self.pool.tasks.qsize(),
+                    "capacity": self.pool.queue_depth,
+                },
+            )
+        self._draining = False
         # Deserialized artifacts kept hot in memory (bounded; the disk
         # store remains the source of truth and survives restarts).
         self._mem = caches.register(
@@ -94,11 +123,47 @@ class CompileService:
     def _compile_profiled(self, source: str, options) -> CompiledProgram:
         """One actual compile, profiled and folded into the aggregate."""
         compiled = compile_program(source, options.with_(profile_sets=True))
+        self._merge_set_stats(compiled)
+        return compiled
+
+    def _merge_set_stats(self, compiled: CompiledProgram) -> None:
         snapshot = compiled.phases.set_stats
         if snapshot:
             with self._set_profile_lock:
                 self._set_profile.merge_snapshot(snapshot)
-        return compiled
+
+    def _compile_actual(
+        self, source: str, options, fingerprint: str
+    ) -> CompiledProgram:
+        """Route one actual compile: in-process, or pooled with retry.
+
+        The worker runs the identical ``compile_program(source,
+        options.with_(profile_sets=True))`` call the in-process path
+        runs, so pooled artifacts are byte-identical.  A transient
+        worker death (crash, stall) retries on a respawned worker; the
+        loop is bounded because every death charges the fingerprint's
+        quarantine budget, which eventually converts retries into the
+        terminal ``CompileQuarantinedError``.
+        """
+        if self.pool is None:
+            return self._compile_profiled(source, options)
+        # +2: quarantine_after deaths trip the breaker; the slack covers
+        # unlucky interleavings with deaths charged by other requests.
+        max_attempts = self.pool.quarantine.quarantine_after + 2
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                compiled = self.pool.compile(source, options, fingerprint)
+            except (PoolSaturatedError, PoolDrainingError):
+                raise  # pre-queue rejections are the client's to retry
+            except CommunicationError as exc:
+                if not is_transient(exc) or attempt >= max_attempts:
+                    raise
+                self.metrics.incr("pool.compile_retries")
+                continue
+            self._merge_set_stats(compiled)
+            return compiled
 
     # -- compile -----------------------------------------------------------
 
@@ -119,7 +184,8 @@ class CompileService:
             # itself still coalesces with an identical off request).
             compiled, coalesced = self.flight.do(
                 ("off", fingerprint),
-                lambda: self._compile_profiled(source, options),
+                lambda: self._compile_actual(source, options, fingerprint),
+                retryable=is_transient,
             )
             kind = "bypass"
         else:
@@ -155,28 +221,47 @@ class CompileService:
             return compiled, "hot"
 
         def compile_and_store():
-            built = self._compile_profiled(
-                source, options.with_(cache_dir=None)
+            built = self._compile_actual(
+                source, options.with_(cache_dir=None), fingerprint
             )
             self.store.store(fingerprint, built)
             self._mem.put(fingerprint, built)
             return built
 
-        compiled, coalesced = self.flight.do(fingerprint, compile_and_store)
+        # retryable: waiters coalesced behind a leader whose pool worker
+        # was killed hand off to a fresh leader instead of all failing
+        # with the dead leader's transient error.
+        compiled, coalesced = self.flight.do(
+            fingerprint, compile_and_store, retryable=is_transient
+        )
         return compiled, ("coalesced" if coalesced else "cold")
 
     # -- requests ----------------------------------------------------------
 
     def handle_compile(self, payload: dict) -> Dict[str, object]:
-        _, meta = self.compile_source(
-            payload.get("source"), payload.get("options")
-        )
+        try:
+            _, meta = self.compile_source(
+                payload.get("source"), payload.get("options")
+            )
+        except (PoolSaturatedError, PoolDrainingError):
+            raise  # mapped to 429 / 503 by the HTTP layer
+        except CommunicationError as exc:
+            # Quarantined fingerprint or an exhausted worker-death retry
+            # loop: a typed per-request failure, not a server error.
+            self.metrics.incr("compile.failed")
+            return {"ok": False, "error": error_to_wire(exc)}
         return {"ok": True, **meta}
 
     def handle_run(self, payload: dict) -> Dict[str, object]:
-        compiled, meta = self.compile_source(
-            payload.get("source"), payload.get("options")
-        )
+        try:
+            compiled, meta = self.compile_source(
+                payload.get("source"), payload.get("options")
+            )
+        except (PoolSaturatedError, PoolDrainingError):
+            raise
+        except CommunicationError as exc:
+            self.metrics.incr("compile.failed")
+            return {"ok": False, "error": error_to_wire(exc)}
         params = payload.get("params") or {}
         if not isinstance(params, dict):
             raise BadRequest("'params' must be an object of integers")
@@ -246,6 +331,53 @@ class CompileService:
             "outcome": outcome_to_wire(outcome),
         }
 
+    # -- lifecycle ---------------------------------------------------------
+
+    def wait_ready(self, timeout_s: float = 10.0) -> bool:
+        """Block until the service is ready (>=1 worker up, not draining).
+
+        Pool-less services are ready immediately.  Returns readiness.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            ready, _ = self.readiness()
+            if ready or time.monotonic() >= deadline:
+                return ready
+            time.sleep(0.02)
+
+    def readiness(self) -> Tuple[bool, Dict[str, object]]:
+        """(ready, payload) for ``/healthz`` — the load-balancer view."""
+        if self._draining or (self.pool is not None
+                              and self.pool.draining):
+            return False, {"ok": False, "reason": "draining"}
+        if self.pool is not None:
+            alive = self.pool.alive_workers()
+            if alive < 1:
+                return False, {
+                    "ok": False,
+                    "reason": "no compile workers up",
+                    "workers": {"alive": 0,
+                                "configured": self.pool.workers},
+                }
+        return True, {"ok": True}
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Flip readiness off and stop the pool accepting new work."""
+        self._draining = True
+        if self.pool is not None:
+            self.pool.begin_drain()
+
+    def close(self, timeout_s: float = 30.0) -> bool:
+        """Graceful drain: finish in-flight compiles, stop every worker."""
+        self.begin_drain()
+        if self.pool is not None:
+            return self.pool.drain(timeout_s)
+        return True
+
     def stats(self) -> Dict[str, object]:
         memo = {
             name: {
@@ -261,12 +393,16 @@ class CompileService:
         return {
             "ok": True,
             "uptime_s": round(time.time() - self.started_at, 3),
+            "draining": self._draining,
             "store": self.store.stats(),
             "single_flight": {
                 "led": self.flight.led_total,
                 "coalesced": self.flight.coalesced_total,
+                "handoffs": self.flight.handoffs_total,
+                "timeouts": self.flight.timeouts_total,
                 "in_flight": self.flight.in_flight(),
             },
+            "pool": self.pool.stats() if self.pool else None,
             "memo_caches": memo,
             "set_ops": self._set_ops_snapshot(),
             **self.metrics.snapshot(),
@@ -289,6 +425,18 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.quiet = quiet
         super().__init__(address, _Handler)
 
+    def shutdown_gracefully(self, timeout_s: float = 30.0) -> None:
+        """Drain-then-stop: flip readiness off, finish in-flight work,
+        stop every worker (terminate→join→kill), then stop serving.
+
+        The order matters: readiness goes false *first* so balancers
+        stop routing, the pool drains while the HTTP front-end still
+        answers (`/livez`, in-flight requests), and only then does the
+        accept loop stop."""
+        self.service.begin_drain()
+        self.service.close(timeout_s=timeout_s)
+        self.shutdown()
+
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
@@ -300,11 +448,14 @@ class _Handler(BaseHTTPRequestHandler):
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -322,6 +473,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, handler) -> None:
         service = self.server.service
+        headers: Dict[str, str] = {}
         with service.metrics.queue_depth:
             try:
                 status, payload = handler()
@@ -329,16 +481,38 @@ class _Handler(BaseHTTPRequestHandler):
                 service.metrics.incr("requests.bad")
                 status, payload = 400, {"ok": False,
                                         "error": error_to_wire(exc)}
+            except PoolSaturatedError as exc:
+                # Load shedding: tell the client when to come back.
+                service.metrics.incr("requests.shed")
+                status, payload = 429, {"ok": False,
+                                        "error": error_to_wire(exc)}
+                headers["Retry-After"] = str(
+                    max(1, int(round(exc.retry_after_s)))
+                )
+            except PoolDrainingError as exc:
+                service.metrics.incr("requests.draining")
+                status, payload = 503, {"ok": False,
+                                        "error": error_to_wire(exc)}
             except Exception as exc:  # never kill the connection thread
                 service.metrics.incr("requests.error")
                 status, payload = 500, {"ok": False,
                                         "error": error_to_wire(exc)}
-        self._send_json(status, payload)
+        self._send_json(status, payload, headers=headers)
 
     # -- routes ------------------------------------------------------------
 
     def do_GET(self):
         if self.path == "/healthz":
+            # Readiness: should a load balancer route here?  503 while
+            # draining or with no compile worker up; the healthy payload
+            # stays {"ok": true} for pre-split clients.
+            def readiness():
+                ready, payload = self.server.service.readiness()
+                return (200 if ready else 503), payload
+            self._dispatch(readiness)
+        elif self.path == "/livez":
+            # Liveness: is the process serving HTTP at all?  Always yes
+            # if this handler runs — draining servers are still alive.
             self._dispatch(lambda: (200, {"ok": True}))
         elif self.path == "/stats":
             self._dispatch(lambda: (200, self.server.service.stats()))
@@ -359,7 +533,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif self.path == "/shutdown":
             self._send_json(200, {"ok": True, "stopping": True})
-            threading.Thread(target=self.server.shutdown,
+            threading.Thread(target=self.server.shutdown_gracefully,
                              daemon=True).start()
         else:
             self._send_json(404, {"ok": False,
@@ -375,10 +549,22 @@ def create_server(
     shard_capacity: int = 256,
     quiet: bool = True,
     service: Optional[CompileService] = None,
+    workers: int = 0,
+    queue_depth: int = 16,
+    quarantine_after: int = 3,
+    compile_deadline_s: float = 60.0,
+    pool_fault_plan: Optional[FaultPlan] = None,
 ) -> ServiceHTTPServer:
     """Bind (but do not start) a compile server; ``port=0`` picks a free
     port, readable afterwards from ``server.server_address``."""
     service = service or CompileService(
-        cache_dir=cache_dir, nshards=nshards, shard_capacity=shard_capacity
+        cache_dir=cache_dir,
+        nshards=nshards,
+        shard_capacity=shard_capacity,
+        workers=workers,
+        queue_depth=queue_depth,
+        quarantine_after=quarantine_after,
+        compile_deadline_s=compile_deadline_s,
+        pool_fault_plan=pool_fault_plan,
     )
     return ServiceHTTPServer((host, port), service, quiet=quiet)

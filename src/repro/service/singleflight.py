@@ -7,8 +7,26 @@ compiler, serializes everyone behind redundant work.  A
 :class:`SingleFlight` group collapses the burst: the first caller (the
 *leader*) runs the computation, every concurrent duplicate (the
 *waiters*) blocks on the leader's result and receives the same value.
-A leader failure propagates the same exception to every waiter — a bad
-program does not get retried once per queued client.
+
+Leader failure has two regimes:
+
+* **Permanent** (the default, or when ``retryable`` rejects the
+  exception): the exception propagates to every waiter — a bad program
+  does not get retried once per queued client.
+* **Transient** (``retryable(exc)`` is true — e.g. the compile-pool
+  worker serving the leader was killed): waiters are *handed off*
+  instead of failed.  Each woken waiter re-enters the table; the first
+  one in becomes the new leader and re-runs ``fn``, the rest coalesce
+  behind it.  ``max_handoffs`` bounds the number of successive leader
+  deaths one request will outlive, so a key that kills every leader
+  eventually propagates the error instead of looping.  The crashed
+  leader itself always sees its own exception — handoff is for the
+  riders, not the driver.
+
+``wait_timeout_s`` is the no-hang escape hatch: a waiter that has been
+parked longer than the timeout stops trusting the leader entirely and
+runs ``fn`` itself, uncoalesced.  With a deterministic ``fn`` (ours are
+keyed by compile fingerprint) the duplicated work is wasted, not wrong.
 
 Keys are only coalesced while in flight: once the leader finishes, the
 key leaves the table and the next request for it starts fresh (by then
@@ -18,19 +36,22 @@ it is normally a cache hit instead).
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Hashable, Tuple, TypeVar
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 
 
 class _Call:
-    __slots__ = ("event", "value", "exc", "waiters")
+    __slots__ = ("event", "value", "exc", "waiters", "handoff")
 
     def __init__(self):
         self.event = threading.Event()
         self.value = None
         self.exc: BaseException = None
         self.waiters = 0
+        #: leader died of a retryable error; woken waiters should re-enter
+        #: the table instead of re-raising ``exc``.
+        self.handoff = False
 
 
 class SingleFlight:
@@ -43,16 +64,30 @@ class SingleFlight:
         self.coalesced_total = 0
         #: total leader executions.
         self.led_total = 0
+        #: total waiters re-dispatched after their leader died retryably.
+        self.handoffs_total = 0
+        #: total waiters that gave up on a leader and ran uncoalesced.
+        self.timeouts_total = 0
 
     def in_flight(self) -> int:
         with self._lock:
             return len(self._calls)
 
-    def do(self, key: Hashable, fn: Callable[[], T]) -> Tuple[T, bool]:
+    def do(
+        self,
+        key: Hashable,
+        fn: Callable[[], T],
+        *,
+        retryable: Optional[Callable[[BaseException], bool]] = None,
+        max_handoffs: int = 2,
+        wait_timeout_s: Optional[float] = None,
+    ) -> Tuple[T, bool]:
         """Return ``(result, coalesced)`` for ``fn`` keyed by ``key``.
 
         ``coalesced`` is True when this call rode on another in-flight
-        execution instead of running ``fn`` itself.
+        execution instead of running ``fn`` itself.  A handed-off waiter
+        that ends up re-running ``fn`` reports ``coalesced=False`` — it
+        did the work.
         """
         with self._lock:
             call = self._calls.get(key)
@@ -70,13 +105,41 @@ class SingleFlight:
                 call.value = fn()
             except BaseException as exc:
                 call.exc = exc
+                with self._lock:
+                    # Hand waiters off only when there *are* waiters, the
+                    # failure is retryable, and the handoff budget allows
+                    # another leader generation.
+                    call.handoff = (
+                        call.waiters > 0
+                        and max_handoffs > 0
+                        and retryable is not None
+                        and retryable(exc)
+                    )
+                    del self._calls[key]
+                call.event.set()
                 raise
-            finally:
+            else:
                 with self._lock:
                     del self._calls[key]
                 call.event.set()
             return call.value, False
-        call.event.wait()
+        if not call.event.wait(wait_timeout_s):
+            # Leader still running past the deadline.  Do the work
+            # ourselves rather than hang; the in-flight entry is left
+            # alone so other waiters keep their coalescing.
+            with self._lock:
+                self.timeouts_total += 1
+            return fn(), False
+        if call.handoff:
+            with self._lock:
+                self.handoffs_total += 1
+            return self.do(
+                key,
+                fn,
+                retryable=retryable,
+                max_handoffs=max_handoffs - 1,
+                wait_timeout_s=wait_timeout_s,
+            )
         if call.exc is not None:
             raise call.exc
         return call.value, True

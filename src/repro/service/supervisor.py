@@ -1,0 +1,463 @@
+"""Supervision core of the compile worker pool.
+
+One :class:`WorkerSupervisor` thread owns each pool slot.  The thread is
+the *only* writer of its slot's process handle, which keeps the state
+machine free of cross-thread races::
+
+    SPAWNING ──ok──▶ IDLE ◀─────────────┐
+       ▲              │ task            │ reply
+       │ backoff      ▼                 │
+       └─ CRASHED ◀─ BUSY ──deadline──▶ STALLED (kill → respawn)
+                      │
+                      └──── drain+empty queue ──▶ EXITED
+
+Crash handling: a worker that dies mid-request is reaped, its exitcode
+signal-decoded into :class:`~repro.runtime.errors.WorkerDiagnostics`,
+the waiting request fails with a *transient*
+:class:`~repro.runtime.errors.WorkerCrashError`, and the slot respawns
+under the PR 4 :class:`~repro.runtime.harness.RetryPolicy` (exponential
+backoff, deterministic jitter, capped) — a crash loop never becomes a
+spawn storm.  A worker that exceeds the per-request deadline is killed
+with the same terminate → join → kill escalation the ``mp`` backend
+uses, fails its request with :class:`WorkerStallError`, and respawns.
+
+The :class:`Quarantine` is the poison-pill circuit breaker: every
+worker *death* (crash or stall-kill) is charged to the fingerprint the
+worker was serving; once one fingerprint has destroyed
+``quarantine_after`` **distinct** worker processes, further submits of
+that fingerprint fail fast with ``CompileQuarantinedError`` instead of
+feeding it another worker.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Set
+
+from ..runtime.errors import (
+    CommunicationError,
+    CompileQuarantinedError,
+    WorkerCrashError,
+    WorkerDiagnostics,
+    WorkerStallError,
+    decode_exitcode,
+)
+from ..runtime.harness import RetryPolicy
+
+#: worker phases, mirrored in the shared phase Value (index == code).
+PHASES = ("idle", "compile", "send")
+
+#: default respawn governor: fast first retry, 2x growth, 2 s ceiling,
+#: deterministic jitter — mirrors the launch-supervisor policy.
+RESPAWN_POLICY = RetryPolicy(
+    max_attempts=1_000_000,  # respawning is open-ended; backoff caps it
+    backoff_base_s=0.05,
+    backoff_factor=2.0,
+    jitter_frac=0.25,
+    backoff_cap_s=2.0,
+)
+
+
+def read_rss_kb(pid: Optional[int] = None) -> Optional[int]:
+    """VmRSS of ``pid`` (default: self) in KiB, or None off-Linux/dead."""
+    try:
+        with open(f"/proc/{pid or os.getpid()}/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+class Quarantine:
+    """Poison-pill circuit breaker keyed by request fingerprint."""
+
+    def __init__(self, quarantine_after: int = 3):
+        self.quarantine_after = quarantine_after
+        self._lock = threading.Lock()
+        #: fingerprint → set of global worker generations it destroyed.
+        self._kills: Dict[str, Set[int]] = {}
+        #: fingerprints currently circuit-broken (for /stats).
+        self._tripped: Set[str] = set()
+
+    def record_kill(self, fingerprint: str, generation: int) -> bool:
+        """Charge a worker death to ``fingerprint``; True if it tripped."""
+        if not fingerprint:
+            return False
+        with self._lock:
+            gens = self._kills.setdefault(fingerprint, set())
+            gens.add(generation)
+            tripped = len(gens) >= self.quarantine_after
+            if tripped:
+                self._tripped.add(fingerprint)
+            return tripped
+
+    def kills(self, fingerprint: str) -> int:
+        with self._lock:
+            return len(self._kills.get(fingerprint, ()))
+
+    def make_error(self, fingerprint: str) -> CompileQuarantinedError:
+        with self._lock:
+            kills = len(self._kills.get(fingerprint, ()))
+        return CompileQuarantinedError(
+            f"fingerprint {fingerprint[:16]}… quarantined: it has "
+            f"killed {kills} distinct compile workers "
+            f"(quarantine_after={self.quarantine_after})"
+        )
+
+    def check(self, fingerprint: str) -> None:
+        """Raise ``CompileQuarantinedError`` if the fingerprint tripped."""
+        with self._lock:
+            tripped = fingerprint in self._tripped
+        if tripped:
+            raise self.make_error(fingerprint)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "after": self.quarantine_after,
+                "tripped": sorted(fp[:16] for fp in self._tripped),
+                "suspects": {
+                    fp[:16]: len(gens)
+                    for fp, gens in self._kills.items()
+                    if fp not in self._tripped
+                },
+            }
+
+
+class CompileTask:
+    """One queued compile: request plus its completion latch."""
+
+    __slots__ = ("source", "options", "fingerprint", "event", "value",
+                 "exc", "enqueued_at")
+
+    def __init__(self, source: str, options, fingerprint: str):
+        self.source = source
+        self.options = options
+        self.fingerprint = fingerprint
+        self.event = threading.Event()
+        self.value = None
+        self.exc: Optional[BaseException] = None
+        self.enqueued_at = time.monotonic()
+
+    def resolve(self, value) -> None:
+        self.value = value
+        self.event.set()
+
+    def fail(self, exc: BaseException) -> None:
+        self.exc = exc
+        self.event.set()
+
+
+class WorkerSupervisor(threading.Thread):
+    """Owns one pool slot: spawn, dispatch, watch, kill, respawn.
+
+    ``spawn`` is the pool's factory returning a started worker handle
+    (process, parent pipe end, shared phase value, generation ids);
+    keeping process creation in the pool keeps this module free of
+    multiprocessing-context details.
+    """
+
+    def __init__(
+        self,
+        slot: int,
+        tasks: "queue.Queue[Optional[CompileTask]]",
+        spawn: Callable[[int, int], "object"],
+        quarantine: Quarantine,
+        pool_stats,
+        compile_deadline_s: float = 60.0,
+        respawn_policy: RetryPolicy = RESPAWN_POLICY,
+        health_interval_s: float = 2.0,
+    ):
+        super().__init__(name=f"pool-supervisor-{slot}", daemon=True)
+        self.slot = slot
+        self.tasks = tasks
+        self.spawn = spawn
+        self.quarantine = quarantine
+        self.stats = pool_stats
+        self.compile_deadline_s = compile_deadline_s
+        self.respawn_policy = respawn_policy
+        self.health_interval_s = health_interval_s
+        self.handle = None  # current worker incarnation, or None
+        self.slot_gen = 0  # incarnations this slot has seen
+        self.draining = threading.Event()
+        self._consecutive_spawn_failures = 0
+        self._req_seq = 0
+        self._last_health = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            while True:
+                if not self._ensure_worker():
+                    if self.draining.is_set():
+                        break
+                    continue
+                try:
+                    task = self.tasks.get(timeout=0.1)
+                except queue.Empty:
+                    if self.draining.is_set():
+                        break
+                    self._health_check()
+                    continue
+                if task is None:  # explicit wakeup sentinel (drain)
+                    if self.draining.is_set():
+                        break
+                    continue
+                self._serve(task)
+        finally:
+            self._stop_worker()
+
+    def begin_drain(self) -> None:
+        self.draining.set()
+
+    # -- spawn / despawn ----------------------------------------------------
+
+    def _ensure_worker(self) -> bool:
+        """Make sure a live worker occupies the slot; False on give-up."""
+        if self.handle is not None and self.handle.proc.is_alive():
+            return True
+        if self.handle is not None:
+            # Died while idle (no request to blame) — plain respawn.
+            self._reap("died while idle", fingerprint="")
+            self.stats.incr("idle_deaths")
+        if self.draining.is_set():
+            return False
+        if self._consecutive_spawn_failures:
+            delay = self.respawn_policy.backoff_s(
+                min(self._consecutive_spawn_failures, 16)
+            )
+            if self.draining.wait(delay):
+                return False
+        try:
+            self.handle = self.spawn(self.slot, self.slot_gen)
+            self.slot_gen += 1
+            self._consecutive_spawn_failures = 0
+            self.stats.incr("respawns" if self.slot_gen > 1 else "spawns")
+            return True
+        except Exception:
+            self._consecutive_spawn_failures += 1
+            self.stats.incr("spawn_failures")
+            return False
+
+    def _reap(self, why: str, fingerprint: str) -> WorkerDiagnostics:
+        """Collect diagnostics from a dead handle and clear the slot."""
+        handle = self.handle
+        self.handle = None
+        handle.proc.join(timeout=5.0)
+        diag = WorkerDiagnostics(
+            worker=self.slot,
+            generation=handle.generation,
+            pid=handle.pid,
+            phase=handle.phase_name(),
+            fingerprint=fingerprint,
+            exitcode=handle.proc.exitcode,
+            rss_kb=read_rss_kb(handle.pid) or handle.last_rss_kb,
+            detail=why,
+        )
+        handle.close()
+        return diag
+
+    def _kill_escalate(self) -> None:
+        """terminate → join → kill → join, the mp-backend shutdown idiom."""
+        proc = self.handle.proc
+        proc.terminate()
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=2.0)
+
+    def _stop_worker(self) -> None:
+        """Graceful worker exit at drain: ask nicely, then escalate."""
+        if self.handle is None:
+            return
+        handle, self.handle = self.handle, None
+        try:
+            handle.conn.send(("exit",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        handle.proc.join(timeout=5.0)
+        if handle.proc.is_alive():
+            handle.proc.terminate()
+            handle.proc.join(timeout=5.0)
+        if handle.proc.is_alive():
+            handle.proc.kill()
+            handle.proc.join(timeout=2.0)
+        handle.close()
+
+    # -- serving ------------------------------------------------------------
+
+    def _serve(self, task: CompileTask) -> None:
+        # The fingerprint may have been quarantined while queued.
+        try:
+            self.quarantine.check(task.fingerprint)
+        except CompileQuarantinedError as exc:
+            self.stats.incr("quarantine_rejects")
+            task.fail(exc)
+            return
+        handle = self.handle
+        self._req_seq += 1
+        req_id = self._req_seq
+        try:
+            handle.conn.send(
+                ("compile", req_id, task.source, task.options)
+            )
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            # Worker died between is_alive() and send — a crash.
+            self._on_crash(task, f"dispatch failed: {exc}")
+            return
+        deadline = time.monotonic() + self.compile_deadline_s
+        while True:
+            try:
+                ready = handle.conn.poll(0.05)
+            except (OSError, ValueError):
+                self._on_crash(task, "pipe closed mid-request")
+                return
+            if ready:
+                try:
+                    reply = handle.conn.recv()
+                except (EOFError, OSError):
+                    self._on_crash(task, "worker hung up mid-reply")
+                    return
+                self._on_reply(task, req_id, reply)
+                return
+            if not handle.proc.is_alive():
+                self._on_crash(task, "worker process died mid-compile")
+                return
+            if time.monotonic() >= deadline:
+                self._on_stall(task)
+                return
+
+    def _on_reply(self, task: CompileTask, req_id: int, reply) -> None:
+        kind, rid = reply[0], reply[1]
+        if rid != req_id:
+            # A stale reply can only come from protocol desync; the slot
+            # is no longer trustworthy.  Treat like a stall.
+            self._on_stall(task, why=f"protocol desync ({kind} #{rid})")
+            return
+        if kind == "ok":
+            _, _, compiled, rss_kb = reply
+            self.handle.last_rss_kb = rss_kb
+            self.stats.incr("compiles")
+            task.resolve(compiled)
+        else:  # ("err", rid, type_name, message, rss_kb)
+            _, _, type_name, message, rss_kb = reply
+            self.handle.last_rss_kb = rss_kb
+            self.stats.incr("compile_errors")
+            task.fail(RemoteCompileError(type_name, message))
+
+    def _fail_killed(self, task: CompileTask, diag: WorkerDiagnostics,
+                     fallback: CommunicationError) -> None:
+        """Charge the kill to the fingerprint and fail the task.
+
+        The task gets the transient crash/stall error while the
+        quarantine budget holds, and the terminal quarantine error on
+        the kill that trips it — so the unlucky tripping client is told
+        the truth (never retry) rather than invited to retry.
+        """
+        tripped = self.quarantine.record_kill(
+            task.fingerprint, diag.generation
+        )
+        if tripped:
+            exc: CommunicationError = self.quarantine.make_error(
+                task.fingerprint
+            )
+            exc.diagnostics.append(diag)
+        else:
+            exc = fallback
+        task.fail(exc)
+
+    def _on_crash(self, task: CompileTask, why: str) -> None:
+        diag = self._reap(why, task.fingerprint)
+        self.stats.incr("crashes")
+        self._fail_killed(
+            task,
+            diag,
+            WorkerCrashError(
+                f"compile worker {self.slot} "
+                f"({decode_exitcode(diag.exitcode or 1)}) died serving "
+                f"{task.fingerprint[:16]}…",
+                [diag],
+            ),
+        )
+
+    def _on_stall(self, task: CompileTask, why: Optional[str] = None) -> None:
+        self._kill_escalate()
+        diag = self._reap(
+            why or f"exceeded {self.compile_deadline_s:.1f}s compile "
+            "deadline; killed",
+            task.fingerprint,
+        )
+        self.stats.incr("stalls")
+        self._fail_killed(
+            task,
+            diag,
+            WorkerStallError(
+                f"compile worker {self.slot} stalled serving "
+                f"{task.fingerprint[:16]}…; killed and replaced",
+                [diag],
+            ),
+        )
+
+    # -- health -------------------------------------------------------------
+
+    def _health_check(self) -> None:
+        """Idle-time liveness probe: ping the worker, refresh rss.
+
+        A worker that is alive but cannot answer a ping within a second
+        has a wedged event loop; it is killed and respawned just like a
+        deadline stall (without a request to charge it to).
+        """
+        now = time.monotonic()
+        if now - self._last_health < self.health_interval_s:
+            return
+        self._last_health = now
+        handle = self.handle
+        self._req_seq += 1
+        req_id = self._req_seq
+        try:
+            handle.conn.send(("ping", req_id))
+            if not handle.conn.poll(1.0):
+                raise OSError("ping timed out")
+            reply = handle.conn.recv()
+        except (OSError, ValueError, EOFError, BrokenPipeError):
+            if handle.proc.is_alive():
+                self._kill_escalate()
+                self.stats.incr("stalls")
+                self._reap("failed idle health check; killed", "")
+            else:
+                self._reap("died while idle", "")
+                self.stats.incr("crashes")
+            return
+        if reply[0] == "pong" and reply[1] == req_id:
+            handle.last_rss_kb = reply[2]
+
+
+class RemoteCompileError(Exception):
+    """A worker reported a clean, typed compile failure.
+
+    Not a worker death: the worker survives, nothing is quarantined.
+    ``wire_type`` carries the original exception class name so
+    :func:`~repro.service.protocol.error_to_wire` reports the same
+    ``type`` the single-process service would have.
+    """
+
+    def __init__(self, type_name: str, message: str):
+        super().__init__(message)
+        self.wire_type = type_name
+
+
+__all__ = [
+    "CompileTask",
+    "PHASES",
+    "Quarantine",
+    "RESPAWN_POLICY",
+    "RemoteCompileError",
+    "WorkerSupervisor",
+    "read_rss_kb",
+]

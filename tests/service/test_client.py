@@ -1,0 +1,91 @@
+"""ServiceClient transport behaviour: bounded retries, attempt history."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.runtime.harness import RetryPolicy
+from repro.service import ServiceClient, create_server
+from repro.service.client import CLIENT_RETRY_POLICY
+
+FAST_POLICY = RetryPolicy(
+    max_attempts=3, backoff_base_s=0.01, backoff_factor=2.0,
+    jitter_frac=0.25, backoff_cap_s=0.05,
+)
+
+
+def free_dead_port() -> int:
+    """A port with nothing listening on it."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_idempotent_requests_retry_connection_refused():
+    client = ServiceClient(port=free_dead_port(),
+                           retry_policy=FAST_POLICY)
+    with pytest.raises(ConnectionRefusedError):
+        client.request("GET", "/stats")
+    # Attempt history mirrors RunOutcome.attempts: one record per try,
+    # typed outcome, backoff after every non-final failure.
+    attempts = client.last_attempts
+    assert len(attempts) == FAST_POLICY.max_attempts
+    assert all(a.outcome == "ConnectionRefusedError" for a in attempts)
+    assert all(a.backoff_s > 0 for a in attempts[:-1])
+    assert attempts[-1].backoff_s == 0.0
+    client.close()
+
+
+def test_non_idempotent_requests_get_single_reconnect_only():
+    client = ServiceClient(port=free_dead_port(),
+                           retry_policy=FAST_POLICY)
+    with pytest.raises(ConnectionRefusedError):
+        client.request("POST", "/run", payload={})
+    # A non-idempotent POST must not be blindly replayed: one reconnect
+    # (for stale keep-alive connections), then the error surfaces.
+    assert len(client.last_attempts) == 2
+    client.close()
+
+
+def test_compile_is_marked_idempotent():
+    client = ServiceClient(port=free_dead_port(),
+                           retry_policy=FAST_POLICY)
+    # /compile is a pure function of its payload, so it retries like a
+    # GET despite being a POST.
+    with pytest.raises(ConnectionRefusedError):
+        client.compile("program p\nend")
+    assert len(client.last_attempts) == FAST_POLICY.max_attempts
+    client.close()
+
+
+def test_backoff_jitter_is_deterministic():
+    a = CLIENT_RETRY_POLICY.backoff_s(0)
+    b = CLIENT_RETRY_POLICY.backoff_s(0)
+    assert a == b  # seeded jitter: reruns reproduce exactly
+    assert CLIENT_RETRY_POLICY.backoff_s(10) <= (
+        CLIENT_RETRY_POLICY.backoff_cap_s * 1.25
+    )  # capped growth (plus at most the jitter fraction)
+
+
+def test_successful_request_records_single_ok_attempt():
+    server = create_server(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with ServiceClient(port=server.server_address[1]) as client:
+            assert client.healthz() == {"ok": True}
+            assert [a.outcome for a in client.last_attempts] == ["ok"]
+            assert client.ready() is True
+            assert client.livez() == {"ok": True}
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_ready_is_false_when_unreachable():
+    client = ServiceClient(port=free_dead_port(),
+                           retry_policy=FAST_POLICY)
+    assert client.ready() is False
+    client.close()

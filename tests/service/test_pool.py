@@ -1,0 +1,490 @@
+"""Compile worker pool chaos matrix: crash, stall, quarantine, drain.
+
+Every worker death in these tests is a *real* dead process — the
+``worker-crash``/``worker-stall`` FaultPlan kinds make the worker
+SIGKILL itself or sleep past its deadline — so the supervisor's crash
+detection, kill escalation, respawn backoff, and quarantine accounting
+are exercised against the operating system, not a mock.  Every test
+asserts zero leaked children on the way out; the whole module runs
+under ``-W error`` in CI.
+"""
+
+import multiprocessing
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro import CompilerOptions, compile_program
+from repro.cache.persist import compute_fingerprint
+from repro.runtime.errors import (
+    CompileQuarantinedError,
+    WorkerCrashError,
+    WorkerStallError,
+)
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.service.pool import (
+    PoolDrainingError,
+    PoolSaturatedError,
+    WorkerPool,
+)
+from repro.service.server import CompileService
+from repro.service.supervisor import CompileTask, Quarantine
+
+PROGRAM = """
+program pooled
+  parameter n
+  real a(n), b(n)
+  processors p(nprocs)
+  template t(n)
+  align a(i) with t(i)
+  align b(i) with t(i)
+  distribute t(block) onto p
+  do i = 1, n
+    b(i) = i
+    a(i) = 0.0
+  end do
+  do i = 2, n - 1
+    a(i) = b(i-1) + b(i+1)
+  end do
+end
+"""
+
+
+def variant(tag: int) -> str:
+    return PROGRAM.replace("a(i) = 0.0", f"a(i) = {float(tag)}")
+
+
+OPTS = CompilerOptions(cache_dir=None)
+
+
+def fingerprint(source: str) -> str:
+    return compute_fingerprint(source, OPTS)
+
+
+def assert_no_leaked_children():
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+@pytest.fixture
+def drained_pool():
+    """Yield a factory; every pool it built is drained at teardown."""
+    pools = []
+
+    def make(**kwargs) -> WorkerPool:
+        kwargs.setdefault("compile_deadline_s", 30.0)
+        pool = WorkerPool(**kwargs).start()
+        pools.append(pool)
+        return pool
+
+    yield make
+    for pool in pools:
+        pool.drain(timeout_s=20.0)
+    assert_no_leaked_children()
+
+
+# -- happy path -------------------------------------------------------------
+
+
+def test_pooled_compile_is_byte_identical(drained_pool):
+    pool = drained_pool(workers=2)
+    source = variant(1)
+    pooled = pool.compile(source, OPTS, fingerprint(source))
+    local = compile_program(source, OPTS.with_(profile_sets=True))
+    # The identity contract (DESIGN §6/§13): the emitted node program is
+    # byte-identical to the in-process compile.  (The artifact's pickle
+    # *bytes* are not stable even between two in-process compiles —
+    # process-global id counters leak into them — so the gate is the
+    # emitted source plus functional identity, same as the disk cache.)
+    assert pooled.source == local.source
+    # The pipe round-trip must survive a further cache-style round-trip.
+    thawed = pickle.loads(pickle.dumps(pooled))
+    assert thawed.source == local.source
+    # Functional identity: the served artifact runs like the local one.
+    from repro import run_compiled
+
+    ours = run_compiled(thawed, params={"n": 14}, nprocs=2)
+    theirs = run_compiled(local, params={"n": 14}, nprocs=2)
+    assert ours.stats.total_messages == theirs.stats.total_messages
+    assert ours.stats.total_bytes == theirs.stats.total_bytes
+    for mine, ref in zip(ours.results, theirs.results):
+        assert mine.scalars == ref.scalars
+        for name, array in mine.arrays.items():
+            assert (array == ref.arrays[name]).all()
+    # The worker's set-engine profile travelled back with the artifact.
+    assert pooled.phases.set_stats
+
+
+def test_fan_out_across_workers(drained_pool):
+    pool = drained_pool(workers=2, queue_depth=8)
+    sources = [variant(tag) for tag in range(2, 6)]
+    results = [None] * len(sources)
+
+    def submit(i):
+        results[i] = pool.compile(sources[i], OPTS,
+                                  fingerprint(sources[i]))
+
+    threads = [threading.Thread(target=submit, args=(i,))
+               for i in range(len(sources))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert all(r is not None for r in results)
+    assert pool.stats_counters.get("compiles") == len(sources)
+
+
+# -- crash path -------------------------------------------------------------
+
+
+def test_worker_crash_is_typed_transient_with_diagnostics(drained_pool):
+    # Slot 0's first incarnation SIGKILLs itself at its first compile.
+    plan = FaultPlan.parse("worker-crash:rank=0:n=1:attempts=1", seed=3)
+    pool = drained_pool(workers=1, fault_plan=plan)
+    source = variant(6)
+    with pytest.raises(WorkerCrashError) as err:
+        pool.compile(source, OPTS, fingerprint(source))
+    assert err.value.transient
+    diag = err.value.diagnostics[0]
+    assert diag.worker == 0
+    assert diag.exitcode == -9  # SIGKILL, signal-decoded in the report
+    assert "SIGKILL" in diag.report()
+    assert diag.fingerprint == fingerprint(source)
+    # The supervisor respawned the slot; the retry compiles cleanly and
+    # the artifact is identical to the no-chaos path.
+    pooled = pool.compile(source, OPTS, fingerprint(source))
+    local = compile_program(source, OPTS.with_(profile_sets=True))
+    assert pooled.source == local.source
+    assert pool.stats_counters.get("crashes") == 1
+    assert pool.stats_counters.get("respawns") == 1
+
+
+def test_service_retry_loop_outlives_transient_crashes(tmp_path):
+    # Two incarnations die mid-compile; the service-level retry loop
+    # (bounded by the quarantine budget) hides both from the client.
+    plan = FaultPlan.parse("worker-crash:rank=0:n=1:attempts=2", seed=5)
+    service = CompileService(
+        cache_dir=str(tmp_path), workers=1, quarantine_after=5,
+        pool_fault_plan=plan,
+    )
+    try:
+        response = service.handle_compile({"source": variant(7)})
+        assert response["ok"] is True
+        assert response["cache"] == "cold"
+        assert service.metrics.counter("pool.compile_retries") == 2
+        # Byte-identical to the in-process compile despite the chaos.
+        from repro.service.protocol import sha256_text
+        local = compile_program(variant(7), CompilerOptions())
+        assert response["artifact_sha256"] == sha256_text(local.source)
+    finally:
+        assert service.close(timeout_s=20.0)
+    assert_no_leaked_children()
+
+
+# -- stall path -------------------------------------------------------------
+
+
+def test_worker_stall_hits_deadline_and_is_killed(drained_pool):
+    # The worker sleeps 30 s against a 1 s deadline; the supervisor
+    # must kill and replace it, and type the failure as a stall.
+    plan = FaultPlan.parse(
+        "worker-stall:rank=0:n=1:ms=30000:attempts=1", seed=11
+    )
+    pool = drained_pool(
+        workers=1, fault_plan=plan, compile_deadline_s=1.0
+    )
+    source = variant(8)
+    start = time.monotonic()
+    with pytest.raises(WorkerStallError) as err:
+        pool.compile(source, OPTS, fingerprint(source))
+    # Bounded by the deadline, not the 30 s sleep.
+    assert time.monotonic() - start < 15.0
+    assert err.value.transient
+    assert "deadline" in err.value.diagnostics[0].detail
+    assert pool.stats_counters.get("stalls") == 1
+    # The replacement worker serves the retry.
+    assert pool.compile(source, OPTS, fingerprint(source)).source
+
+
+# -- quarantine -------------------------------------------------------------
+
+
+def test_poison_pill_quarantines_after_distinct_worker_kills(drained_pool):
+    # The slot's first two incarnations die at their first compile:
+    # after two distinct dead workers the breaker trips and stops
+    # feeding the fingerprint processes.  (attempts=2 keeps incarnation
+    # 2 healthy so the post-quarantine compile below can succeed.)
+    plan = FaultPlan.parse("worker-crash:rank=0:n=1:attempts=2", seed=13)
+    pool = drained_pool(workers=1, quarantine_after=2, fault_plan=plan)
+    source = variant(9)
+    fp = fingerprint(source)
+    with pytest.raises(WorkerCrashError):
+        pool.compile(source, OPTS, fp)
+    # Second kill trips the breaker — the tripping caller is told the
+    # truth (terminal, not transient).
+    with pytest.raises(CompileQuarantinedError) as err:
+        pool.compile(source, OPTS, fp)
+    assert err.value.transient is False
+    # Subsequent submits are rejected before touching any worker.
+    generations_before = pool.stats()["generations"]
+    with pytest.raises(CompileQuarantinedError):
+        pool.compile(source, OPTS, fp)
+    assert pool.stats()["generations"] == generations_before
+    assert pool.quarantine.kills(fp) == 2
+    # Other fingerprints still compile (on a respawned worker).
+    other = variant(10)
+    assert pool.compile(other, OPTS, fingerprint(other)).source
+
+
+def test_quarantined_fingerprint_is_typed_ok_false_via_service(tmp_path):
+    plan = FaultPlan.parse("worker-crash:rank=0:n=1", seed=17)
+    service = CompileService(
+        cache_dir=str(tmp_path), workers=1, quarantine_after=2,
+        pool_fault_plan=plan,
+    )
+    try:
+        response = service.handle_compile({"source": variant(11)})
+        assert response["ok"] is False
+        assert response["error"]["type"] == "CompileQuarantinedError"
+        assert response["error"]["transient"] is False
+        # The service survives; the quarantine shows up in /stats.
+        assert service.stats()["pool"]["quarantine"]["tripped"]
+    finally:
+        assert service.close(timeout_s=20.0)
+    assert_no_leaked_children()
+
+
+def test_quarantine_counts_distinct_workers_not_retries():
+    quarantine = Quarantine(quarantine_after=3)
+    # The same dead worker charged twice is one kill, not two.
+    assert quarantine.record_kill("fp", generation=1) is False
+    assert quarantine.record_kill("fp", generation=1) is False
+    assert quarantine.record_kill("fp", generation=2) is False
+    assert quarantine.record_kill("fp", generation=3) is True
+    with pytest.raises(CompileQuarantinedError):
+        quarantine.check("fp")
+    quarantine.check("other")  # unrelated fingerprints unaffected
+
+
+# -- backpressure -----------------------------------------------------------
+
+
+def test_full_queue_sheds_immediately_with_retry_hint():
+    # No supervisors running: the queue fills deterministically.
+    pool = WorkerPool(workers=2, queue_depth=2)
+    for tag in (12, 13):
+        pool.tasks.put_nowait(
+            CompileTask(variant(tag), OPTS, fingerprint(variant(tag)))
+        )
+    source = variant(14)
+    with pytest.raises(PoolSaturatedError) as err:
+        pool.compile(source, OPTS, fingerprint(source))
+    assert err.value.transient
+    assert err.value.retry_after_s >= 1.0
+    assert pool.stats_counters.get("shed") == 1
+    assert pool.stats()["queue_depth"] == 2
+
+
+# -- drain ------------------------------------------------------------------
+
+
+def test_drain_finishes_queued_work_and_rejects_new(drained_pool):
+    pool = drained_pool(workers=2, queue_depth=8)
+    sources = [variant(tag) for tag in range(15, 19)]
+    results = {}
+    errors = []
+
+    def submit(src):
+        try:
+            results[src] = pool.compile(src, OPTS, fingerprint(src))
+        except Exception as exc:  # noqa: BLE001 - recorded for assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=submit, args=(s,))
+               for s in sources]
+    for t in threads:
+        t.start()
+    time.sleep(0.05)  # let the first submits reach the queue
+    pool.begin_drain()
+    # New work is refused at the door the moment draining starts.
+    with pytest.raises(PoolDrainingError):
+        pool.compile(variant(99), OPTS, fingerprint(variant(99)))
+    for t in threads:
+        t.join(timeout=120)
+    # In-flight and queued work was finished, not dropped: every
+    # submission either completed or was refused pre-queue (raced the
+    # drain flag) — none was abandoned mid-queue.
+    assert len(results) + len(errors) == len(sources)
+    assert all(isinstance(e, PoolDrainingError) for e in errors)
+    assert pool.drain(timeout_s=20.0) is True
+    assert pool.alive_workers() == 0
+    assert_no_leaked_children()
+
+
+# -- HTTP front-end integration ---------------------------------------------
+
+
+@pytest.fixture
+def http_pool_server(tmp_path):
+    """Factory for a pooled HTTP server; graceful-drained at teardown."""
+    import threading as _threading
+
+    from repro.service import create_server
+
+    started = []
+
+    def make(**kwargs):
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("cache_dir", str(tmp_path))
+        kwargs.setdefault("workers", 1)
+        server = create_server(**kwargs)
+        thread = _threading.Thread(target=server.serve_forever,
+                                   daemon=True)
+        thread.start()
+        assert server.service.wait_ready(timeout_s=30.0)
+        started.append((server, thread))
+        return server
+
+    yield make
+    for server, thread in started:
+        server.shutdown_gracefully(timeout_s=20.0)
+        server.server_close()
+        thread.join(timeout=10)
+    assert_no_leaked_children()
+
+
+def test_readiness_flips_to_503_while_draining(http_pool_server):
+    from repro.service import ServiceClient
+
+    server = http_pool_server(workers=1)
+    with ServiceClient(port=server.server_address[1]) as client:
+        assert client.healthz() == {"ok": True}
+        server.service.begin_drain()
+        health = client.healthz()
+        assert health["ok"] is False
+        assert health["reason"] == "draining"
+        # Liveness is unaffected: the process still serves HTTP.
+        assert client.livez() == {"ok": True}
+        assert client.ready() is False
+
+
+def test_no_workers_up_is_not_ready(http_pool_server, monkeypatch):
+    server = http_pool_server(workers=1)
+    monkeypatch.setattr(server.service.pool, "alive_workers", lambda: 0)
+    ready, payload = server.service.readiness()
+    assert ready is False
+    assert payload["reason"] == "no compile workers up"
+    assert payload["workers"] == {"alive": 0, "configured": 1}
+
+
+def test_draining_server_rejects_compiles_with_503(http_pool_server):
+    from repro.service import ServiceClient, ServiceError
+
+    server = http_pool_server(workers=1)
+    server.service.begin_drain()
+    with ServiceClient(port=server.server_address[1]) as client:
+        with pytest.raises(ServiceError) as err:
+            client.compile(variant(20))
+        assert err.value.status == 503
+        assert (err.value.payload["error"]["type"]
+                == "PoolDrainingError")
+
+
+def test_saturated_server_sheds_with_429_retry_after(http_pool_server):
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import ServiceClient, ServiceOverloadedError
+
+    # One worker, queue of one, and a 1.5 s stall on each incarnation's
+    # first compile: concurrent distinct submits must overflow the
+    # queue and be shed at the door.
+    plan = FaultPlan.parse("worker-stall:rank=0:n=1:ms=1500", seed=21)
+    server = http_pool_server(
+        workers=1, queue_depth=1, pool_fault_plan=plan,
+        compile_deadline_s=30.0,
+    )
+    port = server.server_address[1]
+
+    def submit(tag):
+        with ServiceClient(port=port) as client:
+            try:
+                return client.compile(variant(tag))
+            except ServiceOverloadedError as exc:
+                return exc
+
+    with ThreadPoolExecutor(max_workers=4) as executor:
+        outcomes = list(executor.map(submit, range(21, 25)))
+    shed = [o for o in outcomes if isinstance(o, ServiceOverloadedError)]
+    served = [o for o in outcomes if isinstance(o, dict)]
+    assert shed, "expected at least one 429 under queue overflow"
+    assert all(exc.retry_after_s >= 1.0 for exc in shed)
+    assert all(exc.payload["error"]["type"] == "PoolSaturatedError"
+               for exc in shed)
+    assert all(r["ok"] for r in served)
+    assert server.service.metrics.counter("requests.shed") >= len(shed)
+
+
+def test_pooled_http_compile_matches_inprocess_sha(http_pool_server):
+    from repro.service import ServiceClient
+    from repro.service.protocol import sha256_text
+
+    server = http_pool_server(workers=2)
+    with ServiceClient(port=server.server_address[1]) as client:
+        cold = client.compile(variant(26))
+        local = compile_program(variant(26), CompilerOptions())
+        assert cold["cache"] == "cold"
+        assert cold["artifact_sha256"] == sha256_text(local.source)
+        # Bypass path through the pool is byte-identical too.
+        off = client.compile(variant(26), options={"caching": "off"})
+        assert off["cache"] == "bypass"
+        assert off["artifact_sha256"] == cold["artifact_sha256"]
+
+
+def test_remote_compile_error_keeps_original_type(http_pool_server):
+    from repro.service import ServiceClient
+
+    server = http_pool_server(workers=1)
+    with ServiceClient(port=server.server_address[1]) as client:
+        response = client.request(
+            "POST", "/compile",
+            payload={"source": "program broken\n  this is not hpf\nend"},
+            check=False,
+        )
+    assert response["ok"] is False
+    # The worker relayed the original exception class name over the
+    # pipe — same wire type the single-process service reports.
+    assert "Error" in response["error"]["type"]
+    assert response["error"]["type"] != "RemoteCompileError"
+
+
+# -- fault grammar ----------------------------------------------------------
+
+
+def test_worker_fault_kinds_validate_op():
+    with pytest.raises(ValueError):
+        FaultSpec("worker-crash", op="send")
+    FaultSpec("worker-crash", op="compile")  # fine
+    FaultSpec("worker-stall")  # op=any is implicitly compile
+
+
+def test_worker_faults_do_not_fire_on_spmd_ops():
+    # op defaults to "any", but pool kinds must only consume their
+    # trigger on pool compiles — an SPMD send must see nothing.
+    plan = FaultPlan.parse("worker-crash:rank=0:n=1", seed=1)
+    injector = plan.injector(0)
+    assert injector._fire("send") == []
+    assert injector._fire("recv") == []
+    fired = injector._fire("compile")
+    assert [action for action, _ in fired] == ["worker-crash"]
+
+
+def test_schedule_preview_covers_compile_op():
+    plan = FaultPlan.parse("worker-stall:rank=1:op=compile:n=2:ms=500",
+                           seed=9)
+    schedule = plan.schedule(rank=1, nops=4)
+    assert ("compile", 2, "worker-stall", 0.5) in schedule
+    assert plan.schedule(rank=0, nops=4) == ()

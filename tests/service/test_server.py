@@ -60,6 +60,13 @@ def test_healthz(client):
     assert client.healthz() == {"ok": True}
 
 
+def test_livez_and_ready_split(client):
+    # Liveness and readiness agree while the server is healthy; the
+    # split only diverges during drain (covered in test_pool.py).
+    assert client.livez() == {"ok": True}
+    assert client.ready() is True
+
+
 def test_cold_then_hot_compile_byte_identical(client):
     cold = client.compile(variant(1))
     warm = client.compile(variant(1))

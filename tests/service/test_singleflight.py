@@ -121,3 +121,147 @@ def test_failed_key_can_be_retried():
     with pytest.raises(ValueError):
         group.do("k", lambda: (_ for _ in ()).throw(ValueError("boom")))
     assert group.do("k", lambda: "recovered") == ("recovered", False)
+
+
+# -- leader-failure handoff (the latent-hang fix) ---------------------------
+
+
+class Transient(RuntimeError):
+    """Stands in for WorkerCrashError: a retryable leader death."""
+
+
+def _park_waiters(group, n, timeout_s=10.0):
+    for _ in range(int(timeout_s / 0.005)):
+        if group.coalesced_total >= n:
+            return
+        threading.Event().wait(0.005)
+    raise AssertionError("waiters never parked")
+
+
+def test_leader_crash_hands_waiters_off_to_new_leader():
+    group = SingleFlight()
+    release = threading.Event()
+    calls = []
+
+    def flaky():
+        calls.append(threading.get_ident())
+        if len(calls) == 1:
+            release.wait(timeout=10)
+            raise Transient("worker died under the leader")
+        return "artifact"
+
+    outcomes = []
+
+    def call():
+        try:
+            value, coalesced = group.do(
+                "k", flaky, retryable=lambda e: isinstance(e, Transient)
+            )
+            outcomes.append(("ok", value))
+        except Transient:
+            outcomes.append(("crashed", None))
+
+    threads = [threading.Thread(target=call) for _ in range(4)]
+    for t in threads:
+        t.start()
+    _park_waiters(group, 3)
+    release.set()
+    for t in threads:
+        t.join(timeout=10)
+    # The crashed leader sees its own failure; every waiter was handed
+    # off and got the retried value — nobody hung, nobody saw the
+    # transient error second-hand.
+    assert outcomes.count(("crashed", None)) == 1
+    assert outcomes.count(("ok", "artifact")) == 3
+    assert group.handoffs_total == 3
+    assert group.led_total >= 2  # original leader + >=1 handoff leader
+    assert group.in_flight() == 0
+
+
+def test_leader_permanent_failure_still_propagates():
+    group = SingleFlight()
+    release = threading.Event()
+
+    def explode():
+        release.wait(timeout=10)
+        raise ValueError("bad program")
+
+    failures = []
+
+    def call():
+        try:
+            group.do("k", explode,
+                     retryable=lambda e: isinstance(e, Transient))
+            failures.append("ok")
+        except ValueError as exc:
+            failures.append(str(exc))
+
+    threads = [threading.Thread(target=call) for _ in range(3)]
+    for t in threads:
+        t.start()
+    _park_waiters(group, 2)
+    release.set()
+    for t in threads:
+        t.join(timeout=10)
+    # Not retryable: one compile, every caller gets the typed error.
+    assert failures == ["bad program"] * 3
+    assert group.handoffs_total == 0
+
+
+def test_handoff_budget_bounds_leader_deaths():
+    group = SingleFlight()
+    release = threading.Event()
+
+    def always_dies():
+        release.wait(timeout=10)
+        release.set()  # later leaders fail immediately
+        raise Transient("dies every time")
+
+    results = []
+
+    def call():
+        try:
+            group.do("k", always_dies,
+                     retryable=lambda e: isinstance(e, Transient),
+                     max_handoffs=2)
+            results.append("ok")
+        except Transient:
+            results.append("failed")
+
+    threads = [threading.Thread(target=call) for _ in range(3)]
+    for t in threads:
+        t.start()
+    _park_waiters(group, 2)
+    release.set()
+    for t in threads:
+        t.join(timeout=10)
+    # A key that kills every leader converges to failure for everyone
+    # instead of looping forever.
+    assert results == ["failed"] * 3
+    assert group.in_flight() == 0
+
+
+def test_wait_timeout_runs_uncoalesced_instead_of_hanging():
+    group = SingleFlight()
+    leader_parked = threading.Event()
+    release = threading.Event()
+
+    def slow():
+        leader_parked.set()
+        release.wait(timeout=10)
+        return "slow"
+
+    leader = threading.Thread(
+        target=lambda: group.do("k", slow)
+    )
+    leader.start()
+    assert leader_parked.wait(timeout=10)
+    # The waiter gives up on the stuck leader and computes for itself.
+    value, coalesced = group.do(
+        "k", lambda: "impatient", wait_timeout_s=0.05
+    )
+    assert (value, coalesced) == ("impatient", False)
+    assert group.timeouts_total == 1
+    release.set()
+    leader.join(timeout=10)
+    assert group.in_flight() == 0
