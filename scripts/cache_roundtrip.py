@@ -43,6 +43,7 @@ Usage::
 
 import argparse
 import hashlib
+import os
 import sys
 import tempfile
 import time
@@ -92,29 +93,33 @@ def programs():
 
 
 #: SHA-256 of the node program each benchmark must emit (every cache
-#: mode).  jacobi/tomcatv/erlebacher/gauss/sp_like are the pre-overhaul
-#: artifacts, unchanged by the set-engine optimizations; redblack is the
+#: mode).  Re-pinned with the disjointness pretest (DESIGN §14): when two
+#: conjuncts' presolve windows prove them disjoint, subtraction returns
+#: the minuend whole instead of a fan of prefix-decomposition fragments,
+#: so disjoint unions reach code generation with fewer, simpler pieces —
+#: a deliberate representation change (validated by the execution suite),
+#: not a leak.  gauss is byte-identical to the pre-pretest artifact; the
+#: other five changed only in piece decomposition.  redblack remains the
 #: canonical artifact of the determinism fix (stride residues reduced mod
-#: their modulus at emission — the old artifact depended on fresh-name
-#: counter state and was one of several congruent outputs).
+#: their modulus at emission).
 BENCHMARK_SHAS = {
     "jacobi": (
-        "cd343ac98b2695fea490c8020ca61cb28b470ddec63efe1d08efa385e9ad84af"
+        "39d0c86cc1855a069b92b771b54e0970a421741a768118854130cd8092c846c5"
     ),
     "tomcatv": (
-        "b1efd10cda3d8a2e3614b6cf507a8357b4a2ef8e8b6adc82210b9046af402655"
+        "3eccb9a254cdad0905f8e7536d6114fd7e0f6e4bdc2d33e4aa4aa2b92d5b0ed9"
     ),
     "erlebacher": (
-        "d623cfee0b9fddc34ca8be5e536915bd915e28cb1f08e63769e52f6d11c5d2c9"
+        "450fe4d0e3fc68855df3f1eb421302ba89cdc4a4fe532a5192b2d702c67dfe97"
     ),
     "gauss": (
         "0f010d60990c227bece81aefe78891180a20021776ed140ec3163d6c9b388a81"
     ),
     "redblack": (
-        "f70ba7619ac6da0f967eb67f1d2873285d73f2a5a3dd858584581ccf0bac6f0e"
+        "d467c831ee563965efcc8cf3da95ba3d96fadfe93b243ae23dcfd9e82f8bcec6"
     ),
     "sp_like": (
-        "82d549ee58ffb4a001ee144cf4d42d3a505125cbb3fbe0f6923047dd1174cc50"
+        "4852f94c4b15fb3f4af6bc90f1a2f064616223d091383d364b76dddced7d93b8"
     ),
 }
 
@@ -131,7 +136,15 @@ def benchmark_sources():
 
 
 def check_benchmark(name: str, source: str, cache_dir: str) -> None:
-    """Cold / warm / caching=off compiles all match the pinned sha."""
+    """Cold / warm / caching=off / presolve-off compiles all match the
+    pinned sha.
+
+    The last arm is the presolve byte-identity A/B (DESIGN §14): with
+    ``REPRO_PRESOLVE=0`` *and* every cache bypassed, the compiler must
+    emit the same bytes as the presolve-accelerated path — the presolve
+    engine's verdicts may only short-circuit decisions, never change a
+    representation.
+    """
     expected = BENCHMARK_SHAS[name]
     options = CompilerOptions(cache_dir=cache_dir)
     reset_caches()
@@ -154,9 +167,22 @@ def check_benchmark(name: str, source: str, cache_dir: str) -> None:
         raise AssertionError(
             f"{name}: caching=off emitted a different program"
         )
+    os.environ["REPRO_PRESOLVE"] = "0"
+    try:
+        t0 = time.perf_counter()
+        no_presolve = compile_program(source, CompilerOptions(caching="off"))
+        np_s = time.perf_counter() - t0
+    finally:
+        del os.environ["REPRO_PRESOLVE"]
+    if no_presolve.source != cold.source:
+        raise AssertionError(
+            f"{name}: presolve-off compile emitted a different program — "
+            "a presolve verdict leaked into the representation"
+        )
     print(
         f"ok benchmark {name}: sha pinned, cold {cold_s:.2f}s, "
-        f"caching=off {off_s:.2f}s byte-identical"
+        f"caching=off {off_s:.2f}s, presolve-off {np_s:.2f}s, "
+        "all byte-identical"
     )
 
 

@@ -84,14 +84,18 @@ class LRUCache:
             self.hits += 1
             return True, value
 
-    def put(self, key: Hashable, value: object) -> None:
+    def put(self, key: Hashable, value: object) -> int:
+        """Insert ``key``; returns how many entries were evicted to fit."""
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
             self._data[key] = value
+            evicted = 0
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+            return evicted
 
     def memoize(self, key: Hashable, compute: Callable[[], object]) -> object:
         """Return the cached value for ``key``, computing it on a miss.

@@ -18,7 +18,10 @@ from .space import fresh_name
 class Conjunct:
     """An existentially quantified conjunction of affine constraints."""
 
-    __slots__ = ("constraints", "wildcards", "_key")
+    # ``_key`` caches the alpha-canonical dedup key; ``_ekey`` the
+    # order-exact memo key (a hash-caching wrapper built by omega.py);
+    # ``_presolve`` the per-object presolve verdict (bounds.py).
+    __slots__ = ("constraints", "wildcards", "_key", "_ekey", "_presolve")
 
     def __init__(
         self,

@@ -22,7 +22,7 @@ GEQ = ">="
 class Constraint:
     """``expr == 0`` (kind EQ) or ``expr >= 0`` (kind GEQ)."""
 
-    __slots__ = ("expr", "kind", "_hash")
+    __slots__ = ("expr", "kind", "_hash", "_info")
 
     def __init__(self, expr: LinExpr, kind: str):
         if kind not in (EQ, GEQ):
@@ -45,6 +45,7 @@ class Constraint:
         self.expr = expr
         self.kind = kind
         self._hash = None
+        self._info = None
 
     # The cached hash is seeded per process (string hashing); keep it out of
     # pickled artifacts so cross-process loads rehash locally.
@@ -55,6 +56,7 @@ class Constraint:
     def __setstate__(self, state):
         self.expr, self.kind = state
         self._hash = None
+        self._info = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -107,6 +109,25 @@ class Constraint:
             content = self.expr.content()
             return content > 1 and self.expr.constant % content != 0
         return False
+
+    def classify(self) -> tuple:
+        """``(is_false, is_tautology, terms, constant)``, cached.
+
+        Presolve and normalization visit the same constraint objects
+        thousands of times across overlapping conjuncts; bundling the four
+        hot-path queries into one lazily cached tuple turns per-visit work
+        into per-object work.
+        """
+        info = self._info
+        if info is None:
+            expr = self.expr
+            info = self._info = (
+                self.is_false(),
+                self.is_tautology(),
+                expr.terms(),
+                expr.constant,
+            )
+        return info
 
     def coeff(self, name: str) -> int:
         return self.expr.coeff(name)

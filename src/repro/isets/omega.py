@@ -18,11 +18,19 @@ These are the algorithms the paper relies on via the Omega library
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from time import perf_counter as _clock
 
 from ..cache.manager import caches
+from . import parallel
+from .bounds import (
+    interval_implied,
+    interval_width,
+    presolve_conjunct,
+    presolve_enabled,
+)
 from .constraint import EQ, GEQ, Constraint, ceil_div, floor_div
 from .conjunct import Conjunct
 from .errors import InexactOperationError
@@ -51,12 +59,55 @@ _PROJECTION = caches.register("isets.projection", maxsize=50_000)
 # certified nonemptiness.  Entries are hints, not answers — every reuse
 # is re-verified against the actual constraints — so unlike the memo
 # caches above a stale or colliding entry can cost a probe, never
-# soundness.
-_WITNESS = caches.register("isets.witness", maxsize=8_192)
+# soundness.  LRU-capped (``REPRO_WITNESS_CACHE_SIZE``, default 8192);
+# stores/evictions surface as ``witness.stored`` / ``witness.evicted``
+# profiler events and in the ``isets.witness`` row of the service
+# ``/stats`` cache aggregate.
 
 
-def _exact_key(conjunct: Conjunct) -> tuple:
-    return (conjunct.constraints, conjunct.wildcards)
+def _witness_cache_size() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_WITNESS_CACHE_SIZE", "8192")))
+    except ValueError:
+        return 8_192
+
+
+_WITNESS = caches.register("isets.witness", maxsize=_witness_cache_size())
+
+
+class _ExactKey:
+    """Order-exact memo key with a cached hash.
+
+    A raw ``(constraints, wildcards)`` tuple re-hashes every constraint on
+    every dict operation (tuples do not cache their hash); compile
+    workloads do hundreds of thousands of memo lookups against conjuncts
+    with dozens of constraints, so the re-hash showed up as millions of
+    ``Constraint.__hash__`` calls in profiles.  The wrapper hashes once
+    and is cached on the conjunct itself.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: tuple):
+        self.value = value
+        self._hash = hash(value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (
+            type(other) is _ExactKey and self.value == other.value
+        )
+
+
+def _exact_key(conjunct: Conjunct) -> _ExactKey:
+    try:
+        return conjunct._ekey
+    except AttributeError:
+        key = _ExactKey((conjunct.constraints, conjunct.wildcards))
+        conjunct._ekey = key
+        return key
 
 
 # ---------------------------------------------------------------------------
@@ -98,9 +149,10 @@ def _normalize_uncached(conjunct: Conjunct) -> Optional[Conjunct]:
     seen: Set[Constraint] = set()
     result: List[Constraint] = []
     for constraint in conjunct.constraints:
-        if constraint.is_false():
+        false, tautology, _, _ = constraint.classify()
+        if false:
             return None
-        if constraint.is_tautology() or constraint in seen:
+        if tautology or constraint in seen:
             continue
         seen.add(constraint)
         result.append(constraint)
@@ -152,9 +204,10 @@ def _normalize_uncached(conjunct: Conjunct) -> Optional[Conjunct]:
     deduped: List[Constraint] = []
     seen = set()
     for constraint in final:
-        if constraint.is_false():
+        false, tautology, _, _ = constraint.classify()
+        if false:
             return None
-        if constraint.is_tautology() or constraint in seen:
+        if tautology or constraint in seen:
             continue
         seen.add(constraint)
         deduped.append(constraint)
@@ -347,6 +400,28 @@ def eliminate_variable(
             if var in prepared.wildcards:
                 return [prepared]
             return [prepared.with_wildcards([var])]
+
+    # Presolve pinning: when interval propagation proves the system forces
+    # ``var == v``, substitution *is* the exact projection —
+    # ``exists var: C  ==  C[var := v]`` — with none of the quadratic
+    # Fourier–Motzkin fill (and no splinters, even for non-unit
+    # coefficients).  This is a representation-carrying rewrite: the
+    # substituted constraint list generally differs from the
+    # shadow-combination list, so it sits behind the byte-identity gate in
+    # ``scripts/cache_roundtrip.py`` (DESIGN §14) and behind the presolve
+    # kill switch.
+    if presolve_enabled():
+        pre = presolve_conjunct(prepared)
+        if not pre.empty:
+            value = pre.pinned.get(var)
+            if value is not None:
+                record_event("presolve.pin_eliminated")
+                pinned = normalize(
+                    prepared.substitute(var, LinExpr((), value))
+                )
+                if pinned is None:
+                    return []
+                return [pinned.drop_wildcard(var)]
 
     survivors: List[Constraint] = []
     lowers: List[Tuple[int, LinExpr]] = []  # b*var >= beta
@@ -544,13 +619,21 @@ def _project_out_uncached(
 # Emptiness
 # ---------------------------------------------------------------------------
 
-def _choose_elimination_var(conjunct: Conjunct) -> str:
+def _choose_elimination_var(
+    conjunct: Conjunct,
+    intervals: Optional[Dict[str, Tuple[Optional[int], Optional[int]]]] = None,
+) -> str:
     """Pick the variable whose elimination is cheapest (exact first).
 
     This is least-fill ordering on the emptiness path: a unit equality is
     free, otherwise the ``lowers × uppers`` Fourier–Motzkin fill decides
-    (inexact eliminations are penalized since they splinter).  Emptiness is
-    a boolean, so reordering here can never perturb representations.
+    (inexact eliminations are penalized since they splinter).  When the
+    presolve supplies propagated ``intervals``, equal-fill candidates break
+    ties toward the tightest propagated window — eliminating a
+    narrow-range variable keeps the shadow systems small and, on the
+    splinter path, bounds the splinter count by the window width.
+    Emptiness is a boolean, so reordering here can never perturb
+    representations.
     """
     best_var = None
     best_score = None
@@ -572,7 +655,12 @@ def _choose_elimination_var(conjunct: Conjunct) -> str:
             else:
                 uppers += 1
                 exact = exact and coeff == -1
-        score = lowers * uppers + (0 if exact or in_equality else 10_000)
+        fill = lowers * uppers + (0 if exact or in_equality else 10_000)
+        if intervals is None:
+            width = None
+        else:
+            width = interval_width(intervals, var)
+        score = (fill, width if width is not None else float("inf"))
         if best_score is None or score < best_score:
             best_var = var
             best_score = score
@@ -596,84 +684,111 @@ def _quick_feasibility(conjunct: Conjunct) -> Optional[bool]:
     Sound in both directions; never changes the result of the full test,
     only short-circuits it (emptiness is a boolean, so no representation
     can be perturbed).
+
+    The interval propagation is the presolve engine's
+    (:func:`~.bounds.presolve_conjunct`): single-variable constraints seed
+    the windows, then fixpoint rounds over the multi-variable constraints
+    tighten them (see DESIGN §14).  With presolve disabled
+    (``REPRO_PRESOLVE=0``) a single seed-plus-check pass runs instead —
+    the pre-presolve behaviour, kept as the A/B baseline for the
+    byte-identity gate in ``scripts/cache_roundtrip.py``.
     """
-    bounds: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
-    multi: List[Constraint] = []
-    for constraint in conjunct.constraints:
-        if constraint.is_false():
-            record_event("fastpath.gcd_empty")
+    if presolve_enabled():
+        pre = presolve_conjunct(conjunct)
+        if pre.rounds:
+            record_event("presolve.rounds", pre.rounds)
+        if pre.tightened:
+            record_event("presolve.tightened", pre.tightened)
+        if pre.empty:
+            record_event("presolve.empty")
+            record_event(
+                "fastpath.gcd_empty"
+                if pre.reason == "gcd"
+                else "fastpath.interval_empty"
+            )
             return True
-        if constraint.is_tautology():
-            continue
-        terms = constraint.expr.terms()
-        if len(terms) != 1:
-            multi.append(constraint)
-            continue
-        (var, coeff), = terms
-        const = constraint.expr.constant
-        lo, hi = bounds.get(var, (None, None))
-        if constraint.kind == EQ:
-            # coeff*var + const == 0; construction divides the content out
-            # when it divides const, so a remainder here means infeasible.
-            if const % coeff:
+        if pre.pinned:
+            record_event("presolve.pinned", len(pre.pinned))
+        bounds = pre.intervals
+        multi = list(pre.multi)
+    else:
+        bounds = {}
+        multi = []
+        for constraint in conjunct.constraints:
+            if constraint.is_false():
                 record_event("fastpath.gcd_empty")
                 return True
-            value = -const // coeff
-            if (lo is not None and value < lo) or (
-                hi is not None and value > hi
+            if constraint.is_tautology():
+                continue
+            terms = constraint.expr.terms()
+            if len(terms) != 1:
+                multi.append(constraint)
+                continue
+            (var, coeff), = terms
+            const = constraint.expr.constant
+            lo, hi = bounds.get(var, (None, None))
+            if constraint.kind == EQ:
+                # coeff*var + const == 0; construction divides the content
+                # out when it divides const, so a remainder means infeasible.
+                if const % coeff:
+                    record_event("fastpath.gcd_empty")
+                    return True
+                value = -const // coeff
+                if (lo is not None and value < lo) or (
+                    hi is not None and value > hi
+                ):
+                    record_event("fastpath.interval_empty")
+                    return True
+                bounds[var] = (value, value)
+            elif coeff > 0:
+                new_lo = ceil_div(-const, coeff)
+                if hi is not None and new_lo > hi:
+                    record_event("fastpath.interval_empty")
+                    return True
+                bounds[var] = (
+                    new_lo if lo is None else max(lo, new_lo), hi
+                )
+            else:
+                new_hi = floor_div(const, -coeff)
+                if lo is not None and new_hi < lo:
+                    record_event("fastpath.interval_empty")
+                    return True
+                bounds[var] = (
+                    lo, new_hi if hi is None else min(hi, new_hi)
+                )
+        for constraint in multi:
+            max_val = min_val = constraint.expr.constant
+            max_unbounded = min_unbounded = False
+            for var, coeff in constraint.expr.terms():
+                lo, hi = bounds.get(var, (None, None))
+                if coeff > 0:
+                    if hi is None:
+                        max_unbounded = True
+                    else:
+                        max_val += coeff * hi
+                    if lo is None:
+                        min_unbounded = True
+                    else:
+                        min_val += coeff * lo
+                else:
+                    if lo is None:
+                        max_unbounded = True
+                    else:
+                        max_val += coeff * lo
+                    if hi is None:
+                        min_unbounded = True
+                    else:
+                        min_val += coeff * hi
+            if not max_unbounded and max_val < 0:
+                record_event("fastpath.interval_empty")
+                return True
+            if (
+                constraint.kind == EQ
+                and not min_unbounded
+                and min_val > 0
             ):
                 record_event("fastpath.interval_empty")
                 return True
-            bounds[var] = (value, value)
-        elif coeff > 0:
-            new_lo = ceil_div(-const, coeff)
-            if hi is not None and new_lo > hi:
-                record_event("fastpath.interval_empty")
-                return True
-            bounds[var] = (
-                new_lo if lo is None else max(lo, new_lo), hi
-            )
-        else:
-            new_hi = floor_div(const, -coeff)
-            if lo is not None and new_hi < lo:
-                record_event("fastpath.interval_empty")
-                return True
-            bounds[var] = (
-                lo, new_hi if hi is None else min(hi, new_hi)
-            )
-    for constraint in multi:
-        max_val = min_val = constraint.expr.constant
-        max_unbounded = min_unbounded = False
-        for var, coeff in constraint.expr.terms():
-            lo, hi = bounds.get(var, (None, None))
-            if coeff > 0:
-                if hi is None:
-                    max_unbounded = True
-                else:
-                    max_val += coeff * hi
-                if lo is None:
-                    min_unbounded = True
-                else:
-                    min_val += coeff * lo
-            else:
-                if lo is None:
-                    max_unbounded = True
-                else:
-                    max_val += coeff * lo
-                if hi is None:
-                    min_unbounded = True
-                else:
-                    min_val += coeff * hi
-        if not max_unbounded and max_val < 0:
-            record_event("fastpath.interval_empty")
-            return True
-        if (
-            constraint.kind == EQ
-            and not min_unbounded
-            and min_val > 0
-        ):
-            record_event("fastpath.interval_empty")
-            return True
     if not multi:
         # Independent windows, each nonempty: pick any point per variable.
         record_event("fastpath.interval_nonempty")
@@ -722,11 +837,88 @@ def _quick_feasibility(conjunct: Conjunct) -> Optional[bool]:
         if all(c.expr.evaluate(env) >= 0 for c in multi):
             record_event("fastpath.corner_nonempty")
             if caches.enabled:
-                _WITNESS.put(
+                evicted = _WITNESS.put(
                     shape_key, tuple(env[var] for var in order)
                 )
+                record_event("witness.stored")
+                if evicted:
+                    record_event("witness.evicted", evicted)
+            return False
+        if _repair_walk(env, bounds, multi):
+            record_event("fastpath.repair_nonempty")
+            if caches.enabled:
+                evicted = _WITNESS.put(
+                    shape_key, tuple(env[var] for var in order)
+                )
+                record_event("witness.stored")
+                if evicted:
+                    record_event("witness.evicted", evicted)
             return False
     return None
+
+
+def _repair_walk(
+    env: Dict[str, int],
+    bounds: Dict[str, Tuple[Optional[int], Optional[int]]],
+    multi: Sequence[Constraint],
+) -> bool:
+    """Min-conflicts walk from the corner point toward a witness.
+
+    Repeatedly takes a violated inequality and moves one of its variables
+    inside its interval window just far enough to satisfy it (or to the
+    window edge when the full fix does not fit).  Every intermediate point
+    respects the windows, so a point satisfying all multi-variable
+    constraints is a genuine integer witness — the walk can only certify
+    *non*-emptiness, never emptiness, and a step budget bounds the cost on
+    systems where it ping-pongs.  Mutates ``env`` in place so the caller
+    can cache the witness it finds.
+
+    The budget is a small constant: measured on the benchmark suite every
+    walk that succeeds does so within five steps, while walks on actually
+    empty systems always exhaust whatever budget they are given — so a
+    longer leash only makes the (majority) failure case linearly more
+    expensive without rescuing additional witnesses.
+    """
+    budget = 6
+    for _ in range(budget):
+        violated = None
+        for constraint in multi:
+            value = constraint.expr.evaluate(env)
+            if value < 0:
+                violated = constraint
+                deficit = -value
+                break
+        if violated is None:
+            return True
+        moved = False
+        partial = None
+        for var, coeff in violated.expr.terms():
+            lo, hi = bounds.get(var, _NO_WINDOW)
+            current = env[var]
+            if coeff > 0:
+                need = current + -(-deficit // coeff)  # ceil
+                if hi is None or need <= hi:
+                    env[var] = need
+                    moved = True
+                    break
+                if partial is None and hi > current:
+                    partial = (var, hi)
+            else:
+                need = current - -(-deficit // -coeff)
+                if lo is None or need >= lo:
+                    env[var] = need
+                    moved = True
+                    break
+                if partial is None and lo < current:
+                    partial = (var, lo)
+        if not moved:
+            if partial is None:
+                return False
+            env[partial[0]] = partial[1]
+    return False
+
+
+_NO_WINDOW: Tuple[Optional[int], Optional[int]] = (None, None)
 
 
 def _in_window(window: Tuple[Optional[int], Optional[int]],
@@ -787,12 +979,34 @@ def _is_empty_conjunct_uncached(conjunct: Conjunct) -> bool:
             if quick:
                 continue
             return False
+        intervals = None
+        if presolve_enabled():
+            pre = presolve_conjunct(current)
+            if pre.empty:
+                continue
+            # Presolve-pinned variables are implied equalities: the system
+            # forces var == v, so substituting is an exact elimination that
+            # skips Fourier–Motzkin entirely (emptiness is preserved —
+            # every solution of the pinned system extends the original).
+            if pre.pinned:
+                pinned = current
+                for var in sorted(pre.pinned):
+                    pinned = pinned.substitute(
+                        var, LinExpr((), pre.pinned[var])
+                    )
+                record_event("presolve.pin_eliminated", len(pre.pinned))
+                reduced = normalize(pinned)
+                if reduced is None:
+                    continue
+                work.append(reduced)
+                continue
+            intervals = pre.intervals
         variables = current.variables()
         if not variables:
             if all(c.holds({}) for c in current.constraints):
                 return False
             continue
-        var = _choose_elimination_var(current)
+        var = _choose_elimination_var(current, intervals)
         work.extend(eliminate_variable(current, var))
     return True
 
@@ -880,6 +1094,16 @@ def _constraint_redundant_uncached(
     if _syntactic_redundant(conjunct, constraint):
         record_event("fastpath.syntactic_redundant")
         return True
+    # Presolve prescreen: the propagated interval box contains every
+    # solution of ``conjunct``, so an inequality that is nonnegative over
+    # the whole box is implied — no negated-clause emptiness test needed.
+    # One-way (False means "unknown"), so the full test below stays the
+    # decision procedure.
+    if presolve_enabled():
+        pre = presolve_conjunct(conjunct)
+        if not pre.empty and interval_implied(pre.intervals, constraint):
+            record_event("presolve.implied")
+            return True
     return all(
         is_empty_conjunct(conjunct.with_constraints([clause]))
         for clause in constraint.negated()
@@ -919,10 +1143,44 @@ def _remove_redundancies_uncached(conjunct: Conjunct) -> Optional[Conjunct]:
     if current is None:
         return None
     kept: List[Constraint] = list(current.constraints)
+    # Parallel prescreen (off unless REPRO_SET_THREADS >= 2): test every
+    # inequality against *all* the others at once.  A candidate not implied
+    # by the full remainder cannot be implied by any weaker remainder the
+    # sequential sweep will test it against, so it is definitely kept and
+    # its in-loop query can be skipped.  Implication against a superset is
+    # inconclusive for *dropping*, so implied candidates still go through
+    # the order-dependent loop — the output is exactly the sequential one.
+    definitely_kept: Set[int] = set()
+    candidates = [
+        (index, constraint)
+        for index, constraint in enumerate(kept)
+        if not constraint.is_equality
+    ]
+    if parallel.pool_size() >= 2 and len(candidates) >= 2:
+        flags = parallel.query_map(
+            "rmred",
+            candidates,
+            lambda pair: constraint_redundant(
+                Conjunct(
+                    kept[:pair[0]] + kept[pair[0] + 1:], current.wildcards
+                ),
+                pair[1],
+            ),
+        )
+        definitely_kept = {
+            index
+            for (index, _), implied in zip(candidates, flags)
+            if not implied
+        }
+        if definitely_kept:
+            record_event(
+                "parallel.definitely_kept", len(definitely_kept)
+            )
     index = 0
+    position = {id(c): i for i, c in enumerate(kept)}
     while index < len(kept):
         candidate = kept[index]
-        if candidate.is_equality:
+        if candidate.is_equality or position[id(candidate)] in definitely_kept:
             index += 1
             continue
         rest = Conjunct(
@@ -1009,16 +1267,53 @@ def incremental_redundancies(
     each fresh constraint is screened with O(1) lookups instead of the
     per-constraint context rescan that made this the dominant
     ``--profile-sets`` entry.  The screen decides exactly what
-    :func:`_syntactic_redundant` decides; only survivors pay the
-    memoized emptiness-based implication test.
+    :func:`_syntactic_redundant` decides.  A second, presolve-backed
+    screen drops constraints that are nonnegative over ``base``'s
+    propagated interval box (implied by ``base`` alone, hence by ``base``
+    plus anything kept); only survivors pay the memoized emptiness-based
+    implication test.  With ``REPRO_SET_THREADS >= 2``, those survivor
+    queries are additionally prescreened in parallel against ``base``
+    alone — implication by ``base`` is monotone in the context, so a
+    parallel "drop" is exactly a sequential "drop", and the order-
+    dependent loop below only runs for constraints the prescreen could
+    not decide.  The kept list is byte-for-byte the sequential one.
     """
     profiler = active_profiler()
     start = _clock() if profiler is not None else 0.0
     geq_min, eq_consts = _syntactic_index(base.constraints)
+    intervals = None
+    if presolve_enabled():
+        pre = presolve_conjunct(base)
+        if not pre.empty:
+            intervals = pre.intervals
+    prescreen: Dict[Constraint, bool] = {}
+    if parallel.pool_size() >= 2:
+        undecided = [
+            constraint
+            for constraint in fresh
+            if not _index_implies(geq_min, eq_consts, constraint)
+            and not (
+                intervals is not None
+                and interval_implied(intervals, constraint)
+            )
+        ]
+        if len(undecided) >= 2:
+            flags = parallel.query_map(
+                "incred",
+                undecided,
+                lambda c: constraint_redundant(base, c),
+            )
+            prescreen = dict(zip(undecided, flags))
     kept: List[Constraint] = []
     for constraint in fresh:
         if _index_implies(geq_min, eq_consts, constraint):
             record_event("fastpath.batched_syntactic")
+            continue
+        if intervals is not None and interval_implied(intervals, constraint):
+            record_event("presolve.implied")
+            continue
+        if prescreen.get(constraint):
+            record_event("parallel.prescreen_drop")
             continue
         if not constraint_redundant(
             base.with_constraints(kept), constraint

@@ -1,0 +1,147 @@
+"""Parallel evaluation of independent boolean set-engine queries.
+
+The redundancy sweeps in ``remove_redundancies`` / ``incremental_redundancies``
+and the emptiness filter in ``split_disjoint`` issue batches of queries that
+are pure functions of their (interned, immutable) inputs — no query reads
+another's result.  This module fans such a batch across a small thread pool
+while keeping the engine's determinism guarantees:
+
+* **Results are position-stable.**  ``query_map`` returns results in input
+  order, and each query computes exactly what the sequential path would —
+  callers only parallelize *prescreens* whose outcomes are scheduling-
+  independent (see the monotonicity arguments at the call sites).
+* **Fresh names cannot leak.**  Worker threads run under
+  :func:`~.space.scoped_fresh_names` with a deterministic per-item tag, so
+  the process-global counter — and therefore every artifact byte the main
+  thread produces — is untouched by thread scheduling.
+* **Profiling still adds up.**  Each worker gets a private
+  :class:`~.profile.SetOpProfiler`; their snapshots merge into the caller's
+  profiler in input order after the batch (only the commutative counters
+  matter, but the order is fixed anyway).
+
+The pool is sized by ``REPRO_SET_THREADS`` and **off by default** (size 0):
+under CPython's GIL these CPU-bound queries do not overlap, and the compile
+service already parallelizes across *processes* — :func:`disable` is called
+in its pool workers so nested fan-out cannot oversubscribe the host.  The
+switch exists for free-threaded builds and for I/O-light experimentation.
+
+Sequential fallback triggers whenever the pool is off, the batch is small,
+or the calling thread has caching disabled (the ``caching="off"`` A/B path
+is thread-local, and worker threads would silently re-enable memoization).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..cache.manager import caches
+from .profile import SetOpProfiler, active_profiler, profiled
+from .space import scoped_fresh_names
+
+__all__ = ["disable", "pool_size", "query_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Batches below this size run sequentially — thread handoff costs more
+#: than the queries themselves.
+MIN_PARALLEL_BATCH = 8
+
+_lock = threading.Lock()
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_threads = 0
+_disabled = False
+
+
+def pool_size() -> int:
+    """Configured thread count (``REPRO_SET_THREADS``, default 0 = off)."""
+    if _disabled:
+        return 0
+    try:
+        return max(0, int(os.environ.get("REPRO_SET_THREADS", "0")))
+    except ValueError:
+        return 0
+
+
+def disable() -> None:
+    """Force sequential evaluation for the rest of this process.
+
+    Called by compile-service pool workers: the service already runs one
+    compile per core, so per-compile thread fan-out would oversubscribe.
+    """
+    global _disabled, _pool
+    with _lock:
+        _disabled = True
+        pool = _pool
+        _pool = None
+    if pool is not None:
+        pool.shutdown(wait=False)
+
+
+def _executor(threads: int) -> ThreadPoolExecutor:
+    global _pool, _pool_threads
+    with _lock:
+        if _pool is None or _pool_threads != threads:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-setq"
+            )
+            _pool_threads = threads
+        return _pool
+
+
+def query_map(
+    tag: str,
+    items: Sequence[T],
+    fn: Callable[[T], R],
+) -> List[R]:
+    """Evaluate ``fn`` over ``items``, results in input order.
+
+    ``fn`` must be a pure boolean-path query (no representation output, no
+    shared mutable state beyond the thread-safe caches).  ``tag`` keys the
+    per-item fresh-name scopes; use a distinct tag per call site.  Falls
+    back to plain sequential evaluation unless a pool is configured, the
+    batch is worth it, and caching is enabled on the calling thread.
+    """
+    threads = pool_size()
+    if (
+        threads < 2
+        or len(items) < MIN_PARALLEL_BATCH
+        or not caches.enabled
+    ):
+        return [fn(item) for item in items]
+
+    caller_profiler = active_profiler()
+
+    def run(index: int, item: T):
+        profiler = SetOpProfiler() if caller_profiler is not None else None
+        with scoped_fresh_names(f"{tag}{index}"):
+            if profiler is None:
+                return fn(item), None
+            with profiled(profiler):
+                return fn(item), profiler
+
+    futures = [
+        _executor(threads).submit(run, index, item)
+        for index, item in enumerate(items)
+    ]
+    results: List[R] = []
+    error: Optional[BaseException] = None
+    for future in futures:
+        try:
+            value, profiler = future.result()
+        except BaseException as exc:  # propagate the earliest item's error
+            if error is None:
+                error = exc
+            continue
+        if error is None:
+            results.append(value)
+            if profiler is not None and caller_profiler is not None:
+                caller_profiler.merge_snapshot(profiler.snapshot())
+    if error is not None:
+        raise error
+    return results

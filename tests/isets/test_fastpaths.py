@@ -179,10 +179,24 @@ class TestQuickFeasibility:
         c = _conjunct("{[i,j] : 0 <= i <= 5 and 0 <= j <= 5 and i + j <= 9}")
         assert _quick_feasibility(c) is False
 
-    def test_undecided_returns_none(self):
-        # The corner (0,0) violates i + j >= 1 but the set is nonempty:
-        # the pre-test must pass, not guess.
+    def test_repair_walk_certifies_off_corner_witness(self):
+        # The corner (0,0) violates i + j >= 1, but the min-conflicts
+        # repair walk moves one variable inside its window and lands on a
+        # genuine witness — provably nonempty without elimination.
         c = _conjunct("{[i,j] : 0 <= i <= 5 and 0 <= j <= 5 and i + j >= 1}")
+        assert _quick_feasibility(c) is False
+
+    def test_undecided_returns_none(self):
+        # Empty, but only via elimination: the pairwise sums force
+        # 2(i+j+k) >= 12 against i+j+k <= 5.  No variable window
+        # collapses, no two constraints share a linear form, and the
+        # repair walk cannot find a witness (there is none) — the
+        # pre-test must pass, not guess.
+        c = _conjunct(
+            "{[i,j,k] : 0 <= i <= 5 and 0 <= j <= 5 and 0 <= k <= 5 "
+            "and i + j >= 4 and j + k >= 4 and i + k >= 4 "
+            "and i + j + k <= 5}"
+        )
         assert _quick_feasibility(c) is None
 
 

@@ -10,6 +10,14 @@ change any *answer*:
   elimination order.  It may produce a different *representation* than
   the default caller order (which is why it is opt-in, see DESIGN.md),
   but the set of points must be identical to brute-force projection.
+* :func:`repro.isets.bounds.presolve_constraints` — the
+  bounds-propagation presolve.  An ``empty`` verdict, the per-variable
+  interval windows, and the pinned values must each agree with brute
+  force; ``project_out`` must produce pointwise-identical projections
+  whether or not the presolve (and its pin-elimination) runs.
+* :func:`repro.isets.bounds.presolve_disjoint` — the cross-conjunct
+  disjointness pretest behind the subtraction identity fast path.  A
+  ``True`` answer must mean a genuinely empty intersection.
 """
 
 import itertools
@@ -17,6 +25,11 @@ import itertools
 from hypothesis import given, settings, strategies as st
 
 from repro.isets import Conjunct, Constraint, LinExpr
+from repro.isets.bounds import (
+    presolve_constraints,
+    presolve_disabled,
+    presolve_disjoint,
+)
 from repro.isets.errors import InexactOperationError
 from repro.isets.omega import (
     _quick_feasibility,
@@ -112,3 +125,91 @@ def test_least_fill_projection_matches_brute_force(conjunct, eliminate):
             f"project_out(order={order!r}) disagrees with brute force "
             f"eliminating {eliminate} from {conjunct}"
         )
+
+
+@settings(max_examples=150, deadline=None)
+@given(boxed_conjuncts())
+def test_presolve_sound_both_directions(conjunct):
+    result = presolve_constraints(conjunct.constraints)
+    points = _points(conjunct)
+    if result.empty:
+        assert not points, (
+            f"presolve declared empty ({result.reason}) but {conjunct} "
+            f"contains {sorted(points)[:3]}"
+        )
+        return
+    # Intervals are relaxations: every real point must fit every window,
+    # and every pinned variable must take exactly its pinned value.
+    for values in points:
+        env = dict(zip(("x", "y", "z"), values))
+        for var, (lo, hi) in result.intervals.items():
+            value = env.get(var)
+            if value is None:
+                continue
+            assert lo is None or value >= lo
+            assert hi is None or value <= hi
+        for var, pinned in result.pinned.items():
+            if var in env:
+                assert env[var] == pinned
+
+
+@settings(max_examples=150, deadline=None)
+@given(boxed_conjuncts())
+def test_presolve_pins_match_brute_force(conjunct):
+    points = _points(conjunct)
+    if not points:
+        return
+    result = presolve_constraints(conjunct.constraints)
+    assert not result.empty
+    for var, pinned in result.pinned.items():
+        slot = ("x", "y", "z").index(var)
+        seen = {p[slot] for p in points}
+        assert seen == {pinned}, (
+            f"presolve pinned {var}={pinned} but brute force finds "
+            f"{sorted(seen)} in {conjunct}"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(boxed_conjuncts(), st.sampled_from([("y",), ("z",), ("y", "z")]))
+def test_project_out_pinning_pointwise_equal(conjunct, eliminate):
+    """Pin-aware elimination never changes the projected point set."""
+    kept = tuple(d for d in ("x", "y", "z") if d not in eliminate)
+    results = []
+    for presolve_on in (True, False):
+        try:
+            if presolve_on:
+                pieces = project_out(conjunct, list(eliminate))
+            else:
+                with presolve_disabled():
+                    pieces = project_out(conjunct, list(eliminate))
+        except InexactOperationError:
+            return
+        lo, hi = BOX
+        got = set()
+        for values in itertools.product(
+            range(lo, hi + 1), repeat=len(kept)
+        ):
+            env = dict(zip(kept, values))
+            if any(
+                not is_empty_conjunct(piece.partial_evaluate(env))
+                for piece in pieces
+            ):
+                got.add(values)
+        results.append(got)
+    assert results[0] == results[1], (
+        f"project_out differs with presolve on/off eliminating "
+        f"{eliminate} from {conjunct}"
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(boxed_conjuncts(), boxed_conjuncts())
+def test_presolve_disjoint_implies_empty_intersection(a, b):
+    if not presolve_disjoint(a, b):
+        return  # "maybe overlapping" is always allowed
+    overlap = _points(a) & _points(b)
+    assert not overlap, (
+        f"pretest called {a} and {b} disjoint but they share "
+        f"{sorted(overlap)[:3]}"
+    )
